@@ -1,0 +1,152 @@
+(* Benchmark harness: regenerates every table and figure from the paper's
+   evaluation (one section per artifact), then times the pipeline stages
+   with bechamel.
+
+   Scale with BDRMAP_BENCH_SCALE (default 1.0 = paper-sized scenarios;
+   0.1-0.3 for a quick pass). *)
+
+open Bechamel
+open Toolkit
+
+let scale =
+  match Sys.getenv_opt "BDRMAP_BENCH_SCALE" with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> f
+    | _ -> 1.0)
+  | None -> 1.0
+
+let banner title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+let experiments () =
+  banner (Printf.sprintf "bdrmap evaluation reproduction (scale %.2f)" scale);
+  banner "Table 1 (5.7): BGP coverage and heuristic breakdown";
+  Experiments.Exp_table1.print Format.std_formatter (Experiments.Exp_table1.run ~scale ());
+  banner "5.6: validation against ground truth";
+  Experiments.Exp_validation.print Format.std_formatter
+    (Experiments.Exp_validation.run ~scale ());
+  banner "Figure 14: border router / next-hop AS diversity";
+  Experiments.Exp_fig14.print Format.std_formatter (Experiments.Exp_fig14.run ~scale ());
+  banner "Figure 15: marginal utility of VPs";
+  Experiments.Exp_fig15.print Format.std_formatter (Experiments.Exp_fig15.run ~scale ());
+  banner "Figure 16: VP geography vs observed links";
+  Experiments.Exp_fig16.print Format.std_formatter (Experiments.Exp_fig16.run ~scale ());
+  banner "5.3: run-time and stop-set ablation";
+  Experiments.Exp_runtime.print Format.std_formatter
+    (Experiments.Exp_runtime.run ~scale ());
+  banner "5.8: resource-limited deployment";
+  Experiments.Exp_resource.print Format.std_formatter
+    (Experiments.Exp_resource.run ~scale ());
+  banner "Baseline comparison (3)";
+  Experiments.Exp_baselines.print Format.std_formatter
+    (Experiments.Exp_baselines.run ~scale ());
+  banner "Design ablations";
+  Experiments.Exp_ablation.print Format.std_formatter
+    (Experiments.Exp_ablation.run ~scale ())
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks of the pipeline stages.                            *)
+
+module Gen = Topogen.Gen
+open Netcore
+
+let micro_env =
+  lazy
+    (let world = Gen.generate Topogen.Scenario.tiny in
+     let bgp, fwd, engine, inputs = Bdrmap.Pipeline.setup world in
+     let vp = List.hd world.vps in
+     let run = Bdrmap.Pipeline.execute engine inputs ~vp in
+     (world, bgp, fwd, engine, inputs, vp, run))
+
+let test_ptrie_lpm =
+  Test.make ~name:"ptrie-lpm"
+    (Staged.stage (fun () ->
+         let _, _, _, _, inputs, _, _ = Lazy.force micro_env in
+         ignore (Bgpdata.Rib.origin_asns inputs.rib (Ipv4.of_string_exn "1.40.0.77"))))
+
+let test_targets =
+  Test.make ~name:"target-blocks"
+    (Staged.stage (fun () ->
+         let _, _, _, _, inputs, _, _ = Lazy.force micro_env in
+         ignore (Bdrmap.Targets.blocks ~rib:inputs.rib ~vp_asns:inputs.vp_asns)))
+
+let test_bgp_route =
+  Test.make ~name:"bgp-route-lookup"
+    (Staged.stage (fun () ->
+         let _, bgp, _, _, _, _, _ = Lazy.force micro_env in
+         let prefixes = Routing.Bgp.prefixes bgp in
+         let p = List.nth prefixes (List.length prefixes / 2) in
+         ignore (Routing.Bgp.route bgp 64500 p)))
+
+let test_forwarding_path =
+  Test.make ~name:"forwarding-path"
+    (Staged.stage (fun () ->
+         let _, _, fwd, _, _, vp, _ = Lazy.force micro_env in
+         ignore
+           (Routing.Forwarding.path fwd ~src_rid:vp.Gen.vp_rid
+              ~dst:(Ipv4.of_string_exn "1.40.0.77") ())))
+
+let test_traceroute =
+  Test.make ~name:"engine-traceroute"
+    (Staged.stage (fun () ->
+         let _, _, _, engine, _, vp, _ = Lazy.force micro_env in
+         ignore (Probesim.Engine.traceroute engine ~vp ~dst:(Ipv4.of_string_exn "1.40.0.77") ())))
+
+let test_heuristics =
+  Test.make ~name:"heuristics-infer"
+    (Staged.stage (fun () ->
+         let _, _, _, _, inputs, _, run = Lazy.force micro_env in
+         ignore
+           (Bdrmap.Heuristics.infer run.Bdrmap.Pipeline.cfg run.Bdrmap.Pipeline.ip2as
+              ~rels:inputs.rels run.Bdrmap.Pipeline.graph run.Bdrmap.Pipeline.collection)))
+
+let test_rel_infer =
+  Test.make ~name:"rel-infer"
+    (Staged.stage (fun () ->
+         let _, _, _, _, inputs, _, _ = Lazy.force micro_env in
+         ignore (Bgpdata.Rel_infer.infer (Bgpdata.Rib.all_paths inputs.rib))))
+
+let test_ally =
+  Test.make ~name:"ally-trial"
+    (Staged.stage (fun () ->
+         let c = ref 0 in
+         let sampler _ =
+           incr c;
+           Some (!c land 0xFFFF)
+         in
+         ignore
+           (Aliasres.Ally.trial sampler (Ipv4.of_string_exn "10.0.0.1")
+              (Ipv4.of_string_exn "10.0.0.2") ~samples:4)))
+
+let micro () =
+  banner "Micro-benchmarks (bechamel)";
+  (* Force shared state before timing. *)
+  ignore (Lazy.force micro_env);
+  let tests =
+    [ test_ptrie_lpm; test_targets; test_bgp_route; test_forwarding_path;
+      test_traceroute; test_heuristics; test_rel_infer; test_ally ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-24s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+let () =
+  experiments ();
+  micro ();
+  banner "done"

@@ -1,0 +1,202 @@
+(* bdrmap command-line driver: generate a simulated world, run the
+   collection/inference pipeline from a VP, validate against ground truth,
+   and regenerate the paper's tables and figures. *)
+
+open Cmdliner
+module Gen = Topogen.Gen
+
+let scenario_conv =
+  let parse s =
+    match Topogen.Scenario.by_name s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown scenario %S (expected r_and_e, large_access, tier1, small_access)"
+             s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<scenario>")
+
+let scenario_arg =
+  Arg.(
+    required
+    & opt (some scenario_conv) None
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario preset: r_and_e, large_access, tier1 or small_access.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Scale factor applied to neighbor counts.")
+
+let seed_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"N" ~doc:"Generator seed (default: the preset's).")
+
+let vp_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "vp" ] ~docv:"I" ~doc:"Vantage point index (default 0).")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Directory for output artifacts.")
+
+type scenario_fn = ?scale:float -> ?seed:int -> unit -> Gen.params
+
+let params_of (scenario : scenario_fn) scale seed =
+  match seed with
+  | Some seed -> scenario ~scale ~seed ()
+  | None -> scenario ~scale ()
+
+let write_file path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n%!" path (List.length lines)
+
+let setup_env params =
+  let world = Gen.generate params in
+  let bgp, fwd, engine, inputs = Bdrmap.Pipeline.setup world in
+  ignore fwd;
+  ignore bgp;
+  (world, engine, inputs)
+
+(* generate: emit the public input artifacts of §5.2. *)
+let generate scenario scale seed out =
+  let params = params_of scenario scale seed in
+  let world, _, inputs = setup_env params in
+  let dir = Option.value ~default:"." out in
+  write_file (Filename.concat dir "rib.txt") (Bgpdata.Rib.to_lines inputs.rib);
+  write_file (Filename.concat dir "as-rel.txt") (Bgpdata.As_rel.to_lines inputs.rels);
+  write_file (Filename.concat dir "ixp.txt") (Bgpdata.Ixp.to_lines inputs.ixp);
+  write_file
+    (Filename.concat dir "delegations.txt")
+    (Bgpdata.Delegation.to_lines inputs.delegations);
+  write_file (Filename.concat dir "as2org.txt") (Bgpdata.As2org.to_lines world.as2org);
+  write_file
+    (Filename.concat dir "vp-asns.txt")
+    (List.map string_of_int (Netcore.Asn.Set.elements world.siblings));
+  Printf.printf "world: %d ASes, %d routers, %d links, %d VPs\n"
+    (List.length (Topogen.Net.ases world.net))
+    (Topogen.Net.router_count world.net)
+    (Topogen.Net.link_count world.net)
+    (List.length world.vps)
+
+let pick_vp (world : Gen.world) i =
+  match List.nth_opt world.vps i with
+  | Some vp -> vp
+  | None -> failwith (Printf.sprintf "vp index %d out of range (%d VPs)" i (List.length world.vps))
+
+(* run: the full pipeline, with validation and Table-1 reporting. *)
+let run scenario scale seed vp_idx out =
+  let params = params_of scenario scale seed in
+  let world, engine, inputs = setup_env params in
+  let vp = pick_vp world vp_idx in
+  Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
+  let r = Bdrmap.Pipeline.execute engine inputs ~vp in
+  Format.printf "%a@." Probesim.Scheduler.pp r.collection.sched;
+  let t1 = Bdrmap.Report.table1 ~rels:inputs.rels ~vp_asns:inputs.vp_asns r.inference in
+  Bdrmap.Report.print ~title:("bdrmap @ " ^ vp.Gen.vp_name) Format.std_formatter t1;
+  let s = Bdrmap.Validate.summarize (Bdrmap.Validate.links world r.graph r.inference) in
+  Format.printf "ground truth: %a@." Bdrmap.Validate.pp_summary s;
+  match out with
+  | None -> ()
+  | Some dir ->
+    write_file
+      (Filename.concat dir "collection.txt")
+      (Bdrmap.Output.collection_to_lines r.collection);
+    write_file
+      (Filename.concat dir "links.txt")
+      (Bdrmap.Output.links_to_lines r.graph r.inference)
+
+(* infer: re-run inference over a previously saved collection. *)
+let infer scenario scale seed collection_file =
+  let params = params_of scenario scale seed in
+  let _world, _, inputs = setup_env params in
+  let ic = open_in collection_file in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  match Bdrmap.Output.collection_of_lines (List.rev !lines) with
+  | Error e -> prerr_endline e
+  | Ok c ->
+    let cfg = Bdrmap.Config.default ~vp_asns:inputs.vp_asns in
+    let ip2as =
+      Bdrmap.Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
+        ~delegations:inputs.delegations ~vp_asns:inputs.vp_asns
+    in
+    let g = Bdrmap.Rgraph.build c in
+    let inf = Bdrmap.Heuristics.infer cfg ip2as ~rels:inputs.rels g c in
+    List.iter print_endline (Bdrmap.Output.links_to_lines g inf);
+    Printf.printf "# %d links from %d traces\n"
+      (List.length inf.links) (List.length c.traces)
+
+(* experiments: regenerate the paper's tables and figures. *)
+let experiments scale names =
+  let all =
+    [ ("table1", fun () -> Exp_print.table1 scale);
+      ("validation", fun () -> Exp_print.validation scale);
+      ("fig14", fun () -> Exp_print.fig14 scale);
+      ("fig15", fun () -> Exp_print.fig15 scale);
+      ("fig16", fun () -> Exp_print.fig16 scale);
+      ("runtime", fun () -> Exp_print.runtime scale);
+      ("resource", fun () -> Exp_print.resource scale);
+      ("baselines", fun () -> Exp_print.baselines scale);
+      ("ablation", fun () -> Exp_print.ablation scale) ]
+  in
+  let chosen =
+    match names with
+    | [] -> all
+    | names -> List.filter (fun (n, _) -> List.mem n names) all
+  in
+  if chosen = [] then prerr_endline "no matching experiments"
+  else List.iter (fun (_, f) -> f ()) chosen
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a world and write its public input artifacts.")
+    Term.(const generate $ scenario_arg $ scale_arg $ seed_arg $ out_arg)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the full bdrmap pipeline from a VP.")
+    Term.(const run $ scenario_arg $ scale_arg $ seed_arg $ vp_arg $ out_arg)
+
+let infer_cmd =
+  let collection_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "collection" ] ~docv:"FILE" ~doc:"Saved collection file.")
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Run border inference over a saved collection.")
+    Term.(const infer $ scenario_arg $ scale_arg $ seed_arg $ collection_arg)
+
+let experiments_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiments to run.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (default: all).")
+    Term.(const experiments $ scale_arg $ names_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "bdrmap_cli" ~version:"1.0.0"
+       ~doc:"bdrmap: inference of borders between IP networks (IMC 2016) on a simulated Internet.")
+    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

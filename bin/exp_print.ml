@@ -1,0 +1,34 @@
+(* Experiment runners shared by the CLI and the bench harness. *)
+
+let table1 scale =
+  Experiments.Exp_table1.print Format.std_formatter
+    (Experiments.Exp_table1.run ~scale ())
+
+let validation scale =
+  Experiments.Exp_validation.print Format.std_formatter
+    (Experiments.Exp_validation.run ~scale ())
+
+let fig14 scale =
+  Experiments.Exp_fig14.print Format.std_formatter (Experiments.Exp_fig14.run ~scale ())
+
+let fig15 scale =
+  Experiments.Exp_fig15.print Format.std_formatter (Experiments.Exp_fig15.run ~scale ())
+
+let fig16 scale =
+  Experiments.Exp_fig16.print Format.std_formatter (Experiments.Exp_fig16.run ~scale ())
+
+let runtime scale =
+  Experiments.Exp_runtime.print Format.std_formatter
+    (Experiments.Exp_runtime.run ~scale ())
+
+let resource scale =
+  Experiments.Exp_resource.print Format.std_formatter
+    (Experiments.Exp_resource.run ~scale ())
+
+let ablation scale =
+  Experiments.Exp_ablation.print Format.std_formatter
+    (Experiments.Exp_ablation.run ~scale ())
+
+let baselines scale =
+  Experiments.Exp_baselines.print Format.std_formatter
+    (Experiments.Exp_baselines.run ~scale ())

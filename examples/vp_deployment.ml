@@ -1,0 +1,56 @@
+(* VP deployment planner (§6, figure 15): how many vantage points does a
+   network need, and where, to observe all of its interdomain links with
+   each neighbor? Akamai-style selective announcement means one VP
+   suffices; hot-potato peers like Level3 need VPs in every region.
+
+   Run with: dune exec examples/vp_deployment.exe *)
+
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+
+let () =
+  let t = Experiments.Exp_fig15.run ~scale:0.25 () in
+  Printf.printf "VP deployment planning for a large access network (%d candidate VPs)\n\n"
+    t.n_vps;
+  Printf.printf "%-30s %8s %12s %s\n" "neighbor" "links" "VPs needed" "discovery profile";
+  List.iter
+    (fun (s : Experiments.Exp_fig15.series) ->
+      let needed =
+        let rec go i = function
+          | [] -> i
+          | c :: rest -> if c >= s.total_links then i + 1 else go (i + 1) rest
+        in
+        go 0 s.cumulative
+      in
+      let profile =
+        match s.cumulative with
+        | first :: _ when first >= s.total_links -> "any single VP suffices"
+        | first :: _ when first * 2 >= s.total_links -> "front-loaded"
+        | _ -> "requires geographic spread"
+      in
+      Printf.printf "%-30s %8d %12d %s\n" s.neighbor s.total_links needed profile)
+    t.series;
+
+  (* Recommend the smallest VP subset covering every neighbor's links:
+     greedy set cover over the per-VP marginal discoveries. *)
+  let total_all = List.fold_left (fun acc s -> acc + s.Experiments.Exp_fig15.total_links) 0 t.series in
+  let best_k =
+    (* cumulative lists are per-neighbor; a deployment of k VPs covers
+       everything once every series has converged. *)
+    let rec go k =
+      if k > t.n_vps then t.n_vps
+      else if
+        List.for_all
+          (fun (s : Experiments.Exp_fig15.series) ->
+            List.nth s.cumulative (k - 1) >= s.total_links)
+          t.series
+      then k
+      else go (k + 1)
+    in
+    go 1
+  in
+  Printf.printf
+    "\nrecommendation: deploy %d VPs (in the generated order) to observe all %d links\n"
+    best_k total_all;
+  Printf.printf
+    "(the paper needed 17 geographically diverse VPs for the 45 Level3 links)\n"

@@ -1,0 +1,35 @@
+(** Accumulates alias evidence and produces routers by transitive
+    closure, honouring the paper's guard (§5.3 "Build router-level
+    graph"): two addresses are only merged when no measurement suggested
+    the pair is not aliases — a negative result blocks the union even if
+    positive evidence arrived first or arrives later. *)
+
+open Netcore
+
+type t
+
+val create : unit -> t
+
+(** [add_alias t a b] records positive evidence. The union is applied
+    unless a negative constraint exists between the two groups. *)
+val add_alias : t -> Ipv4.t -> Ipv4.t -> unit
+
+(** [add_not_alias t a b] records negative evidence; it retroactively
+    never splits groups, so drivers must record negatives before the
+    positives they should veto (bdrmap's repeated-Ally discipline). *)
+val add_not_alias : t -> Ipv4.t -> Ipv4.t -> unit
+
+(** [same_router t a b] is true when the addresses are currently merged. *)
+val same_router : t -> Ipv4.t -> Ipv4.t -> bool
+
+(** [vetoed t a b] is true when a negative constraint connects the two
+    groups. *)
+val vetoed : t -> Ipv4.t -> Ipv4.t -> bool
+
+(** [groups t] is the list of alias sets (routers), each sorted, only
+    for addresses ever mentioned. *)
+val groups : t -> Ipv4.t list list
+
+(** [group_of t a] is the alias set containing [a] (a singleton when
+    never mentioned). *)
+val group_of : t -> Ipv4.t -> Ipv4.t list

@@ -1,0 +1,75 @@
+open Netcore
+
+type verdict = Aliases | Not_aliases | Unresponsive
+type sampler = Ipv4.t -> int option
+
+(* Strictly increasing mod 2^16: every step advances by less than half
+   the ID space, and the whole window wraps at most once. *)
+let monotonic = function
+  | [] | [ _ ] -> true
+  | first :: _ as ids ->
+    let rec go prev advance = function
+      | [] -> true
+      | id :: rest ->
+        let d = (id - prev) land 0xFFFF in
+        if d = 0 || d >= 32768 then false
+        else if advance + d >= 65536 then false
+        else go id (advance + d) rest
+    in
+    go first 0 (List.tl ids)
+
+let trial sampler a b ~samples =
+  let rec collect i acc =
+    if i >= samples then Some (List.rev acc)
+    else
+      match (sampler a, sampler b) with
+      | Some ia, Some ib -> collect (i + 1) ((ib, `B) :: (ia, `A) :: acc)
+      | _ -> None
+  in
+  match collect 0 [] with
+  | None -> Unresponsive
+  | Some seq ->
+    let ids = List.map fst seq in
+    let own tag = List.filter_map (fun (id, t) -> if t = tag then Some id else None) seq in
+    (* An address whose own samples are not monotonic (random or constant
+       IDs) cannot support a velocity inference at all. *)
+    if not (monotonic (own `A) && monotonic (own `B)) then Unresponsive
+    else if monotonic ids then Aliases
+    else Not_aliases
+
+let test sampler ~wait a b ~trials ~samples =
+  let rec go i best =
+    if i >= trials then best
+    else begin
+      if i > 0 then wait ();
+      match trial sampler a b ~samples with
+      | Not_aliases -> Not_aliases
+      | Aliases -> go (i + 1) Aliases
+      | Unresponsive -> go (i + 1) best
+    end
+  in
+  go 0 Unresponsive
+
+let trial_proximity sampler a b ~samples ~fudge =
+  let rec collect i acc =
+    if i >= samples then Some (List.rev acc)
+    else
+      match (sampler a, sampler b) with
+      | Some ia, Some ib -> collect (i + 1) (ib :: ia :: acc)
+      | _ -> None
+  in
+  match collect 0 [] with
+  | None -> Unresponsive
+  | Some ids ->
+    (* The 2002 test accepts "increasing but appropriately proximate"
+       values: consecutive samples must stay within the fudge band in
+       circular distance, with no strict ordering — which is exactly what
+       lets two recently-rebooted counters masquerade as one. *)
+    let rec ok moved = function
+      | x :: (y :: _ as rest) ->
+        let d = (y - x) land 0xFFFF in
+        let dist = min d (65536 - d) in
+        dist < fudge && ok (moved || dist > 0) rest
+      | _ -> moved
+    in
+    if ok false ids then Aliases else Not_aliases

@@ -1,0 +1,36 @@
+(** The Ally alias-resolution test [Spring et al. 2002], hardened the way
+    bdrmap hardens it (§5.3 "Limit false aliases"): interleaved IP-ID
+    samples from two addresses must come from one central counter, the
+    comparison uses MIDAR's strict monotonicity over the merged sequence
+    rather than a proximity fudge factor, and the test is repeated (five
+    trials at five-minute spacing in the paper) with any later rejection
+    overriding earlier acceptances. *)
+
+open Netcore
+
+type verdict = Aliases | Not_aliases | Unresponsive
+
+(** A sampler returns the IP-ID of a fresh probe reply from the address,
+    or [None] when unresponsive; the engine's clock advances per probe. *)
+type sampler = Ipv4.t -> int option
+
+(** [trial sampler a b ~samples] interleaves [samples] probes to each
+    address and applies the monotonicity test. *)
+val trial : sampler -> Ipv4.t -> Ipv4.t -> samples:int -> verdict
+
+(** [test sampler ~wait a b ~trials ~samples] repeats {!trial}, invoking
+    [wait] between trials (the driver advances the simulated clock); one
+    [Not_aliases] refutes the shared-counter hypothesis permanently. *)
+val test :
+  sampler -> wait:(unit -> unit) -> Ipv4.t -> Ipv4.t -> trials:int -> samples:int -> verdict
+
+(** [monotonic ids] is true when the merged sample sequence strictly
+    increases allowing 16-bit wraparound (at most one wrap per window and
+    bounded total advance), the MIDAR-style test exposed for reuse. *)
+val monotonic : int list -> bool
+
+(** [trial_proximity sampler a b ~samples ~fudge] is the original Ally
+    comparison [Spring et al. 2002]: replies must be in-order and within
+    [fudge] of each other. Kept as the ablation baseline the paper's
+    monotonicity discipline replaces (§5.3 "Limit false aliases"). *)
+val trial_proximity : sampler -> Ipv4.t -> Ipv4.t -> samples:int -> fudge:int -> verdict

@@ -1,0 +1,16 @@
+open Netcore
+
+type verdict = Aliases | Not_aliases | Unresponsive
+type prober = Ipv4.t -> Ipv4.t option
+
+let test prober a b =
+  match (prober a, prober b) with
+  | Some sa, Some sb ->
+    (* Replies sourced from the probed address itself carry no alias
+       signal; a shared distinct source is positive evidence, two
+       distinct canonical sources are negative evidence. *)
+    if Ipv4.equal sa a && Ipv4.equal sb b then Unresponsive
+    else if Ipv4.equal sa sb then Aliases
+    else if Ipv4.equal sa a || Ipv4.equal sb b then Unresponsive
+    else Not_aliases
+  | _ -> Unresponsive

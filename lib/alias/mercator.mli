@@ -1,0 +1,14 @@
+(** The Mercator alias test [Govindan & Tangmunarunkit 2000]: probe an
+    unused UDP port on each address; routers that answer with a common
+    source address (a loopback or canonical interface) different from the
+    probed address reveal that both probed addresses sit on one box. *)
+
+open Netcore
+
+type verdict = Aliases | Not_aliases | Unresponsive
+
+(** A prober returns the source address of the port-unreachable reply to
+    a UDP probe, or [None]. *)
+type prober = Ipv4.t -> Ipv4.t option
+
+val test : prober -> Ipv4.t -> Ipv4.t -> verdict

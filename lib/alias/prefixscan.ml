@@ -1,0 +1,21 @@
+open Netcore
+
+type oracle = Ipv4.t -> Ipv4.t -> [ `Aliases | `Not_aliases | `Unknown ]
+type result = { subnet_len : int; mate : Ipv4.t }
+
+let scan oracle ~prev ~hop =
+  let try_len len =
+    match Prefix.subnet_mate hop len with
+    | None -> None
+    | Some mate ->
+      if Ipv4.equal mate prev then
+        (* prev and hop share the subnet directly: nothing to test. *)
+        Some { subnet_len = len; mate }
+      else (
+        match oracle mate prev with
+        | `Aliases -> Some { subnet_len = len; mate }
+        | `Not_aliases | `Unknown -> None)
+  in
+  match try_len 31 with
+  | Some r -> Some r
+  | None -> try_len 30

@@ -1,0 +1,22 @@
+(** The prefixscan inference (§5.3, [Luckie & claffy 2014]): interdomain
+    point-to-point links use /30 or /31 subnets, so if address [b]
+    observed after [a] in a traceroute is the inbound interface of the
+    far router, then [b]'s subnet mate should be an alias of [a] (the
+    near router's interface on the same link). Confirming the mate-alias
+    simultaneously confirms that [b] is an inbound interface rather than
+    a third-party address, and yields the near router's link address. *)
+
+open Netcore
+
+(** The alias oracle combines whatever tests the driver has available
+    (Ally, Mercator); it must answer for an arbitrary address pair. *)
+type oracle = Ipv4.t -> Ipv4.t -> [ `Aliases | `Not_aliases | `Unknown ]
+
+type result = {
+  subnet_len : int;  (** 31 or 30 *)
+  mate : Ipv4.t;  (** the inferred near-side interface *)
+}
+
+(** [scan oracle ~prev ~hop] tries the /31 mate first, then the /30
+    mate, returning the first confirmed alias of [prev]. *)
+val scan : oracle -> prev:Ipv4.t -> hop:Ipv4.t -> result option

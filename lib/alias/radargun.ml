@@ -1,0 +1,69 @@
+type verdict = Aliases | Not_aliases | Unresponsive
+
+type series = (float * int) list
+
+let unwrap series =
+  match series with
+  | [] | [ _ ] -> None
+  | (t0, id0) :: rest ->
+    let rec go prev_id offset acc = function
+      | [] -> Some (List.rev acc)
+      | (t, id) :: more ->
+        let offset = if id < prev_id then offset +. 65536.0 else offset in
+        (* A counter that jumps by more than half the space between two
+           consecutive samples is ambiguous: refuse to model it. *)
+        let unwrapped = float_of_int id +. offset in
+        let prev_unwrapped =
+          match acc with
+          | (_, v) :: _ -> v
+          | [] -> 0.0
+        in
+        if unwrapped -. prev_unwrapped > 32768.0 then None
+        else go id offset ((t, unwrapped) :: acc) more
+    in
+    go id0 0.0 [ (t0, float_of_int id0) ] rest
+
+let velocity series =
+  match unwrap series with
+  | None -> None
+  | Some points ->
+    if List.length points < 3 then None
+    else
+      let n = float_of_int (List.length points) in
+      let sum f = List.fold_left (fun acc p -> acc +. f p) 0.0 points in
+      let st = sum fst and sv = sum snd in
+      let stt = sum (fun (t, _) -> t *. t) in
+      let stv = sum (fun (t, v) -> t *. v) in
+      let denom = (n *. stt) -. (st *. st) in
+      if abs_float denom < 1e-9 then None
+      else
+        let slope = ((n *. stv) -. (st *. sv)) /. denom in
+        if slope <= 0.0 then None else Some slope
+
+(* Projected counter value at time [t] under the fitted line. *)
+let project points slope t =
+  let n = float_of_int (List.length points) in
+  let st = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sv = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 points in
+  let intercept = (sv -. (slope *. st)) /. n in
+  intercept +. (slope *. t)
+
+let test ?(tolerance = 0.1) a b =
+  match (unwrap a, unwrap b, velocity a, velocity b) with
+  | Some pa, Some pb, Some va, Some vb ->
+    let rel = abs_float (va -. vb) /. Float.max va vb in
+    if rel > tolerance then Not_aliases
+    else
+      (* Same velocity: compare projections at a common instant modulo
+         the 16-bit space (unwrap offsets differ per series). *)
+      let t_mid =
+        let all = List.map fst (pa @ pb) in
+        List.fold_left ( +. ) 0.0 all /. float_of_int (List.length all)
+      in
+      let slope = (va +. vb) /. 2.0 in
+      let da = Float.rem (project pa slope t_mid) 65536.0 in
+      let db = Float.rem (project pb slope t_mid) 65536.0 in
+      let gap = abs_float (da -. db) in
+      let gap = Float.min gap (65536.0 -. gap) in
+      if gap < 400.0 then Aliases else Not_aliases
+  | _ -> Unresponsive

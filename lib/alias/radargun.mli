@@ -1,0 +1,26 @@
+(** RadarGun-style IP-ID velocity modeling [Bender, Sherwood & Spring,
+    IMC 2008], the technique MIDAR refined (§3): instead of interleaving
+    probe pairs like Ally, collect an ID time series per address, unwrap
+    the 16-bit wraparounds, fit a velocity, and call two addresses
+    aliases when one counter model explains both series. *)
+
+
+type verdict = Aliases | Not_aliases | Unresponsive
+
+(** A time series of (seconds, IP-ID) samples in probing order. *)
+type series = (float * int) list
+
+(** [unwrap series] removes 16-bit wraparounds, yielding monotone
+    counter values; [None] when a step cannot be explained by fewer than
+    one full wrap (sampling too sparse). *)
+val unwrap : series -> (float * float) list option
+
+(** [velocity series] is the least-squares counter velocity in IDs per
+    second, or [None] if the series is unusable (fewer than 3 samples,
+    unwrap failure, or a non-advancing counter). *)
+val velocity : series -> float option
+
+(** [test ?tolerance a b] compares two series: aliases when their
+    velocities agree within [tolerance] (relative, default 0.1) and the
+    projected counter values coincide at the sample midpoint. *)
+val test : ?tolerance:float -> series -> series -> verdict

@@ -1,0 +1,86 @@
+open Netcore
+
+type vp_links = { vp_name : string; links : Output.link_record list }
+
+type merged = {
+  near_addrs : Ipv4.Set.t;
+  far_addrs : Ipv4.Set.t;
+  neighbor : Asn.t;
+  tags : Heuristics.tag list;
+  seen_by : string list;
+}
+
+let of_run vp_name graph result =
+  let lines = Output.links_to_lines graph result in
+  match Output.links_of_lines lines with
+  | Ok links -> { vp_name; links }
+  | Error e -> invalid_arg ("Aggregate.of_run: " ^ e)
+
+let same_link (m : merged) (r : Output.link_record) =
+  Asn.equal m.neighbor r.Output.neighbor
+  &&
+  let far = Ipv4.Set.of_list r.Output.far_addrs in
+  let near = Ipv4.Set.of_list r.Output.near_addrs in
+  if Ipv4.Set.is_empty far && Ipv4.Set.is_empty m.far_addrs then
+    (* Silent on both sides: match on the near router. *)
+    not (Ipv4.Set.disjoint near m.near_addrs)
+  else
+    (not (Ipv4.Set.disjoint far m.far_addrs))
+    && not (Ipv4.Set.disjoint near m.near_addrs)
+
+let merge runs =
+  let acc : merged list ref = ref [] in
+  List.iter
+    (fun run ->
+      List.iter
+        (fun (r : Output.link_record) ->
+          match List.find_opt (fun m -> same_link m r) !acc with
+          | Some m ->
+            let m' =
+              { m with
+                near_addrs =
+                  Ipv4.Set.union m.near_addrs (Ipv4.Set.of_list r.Output.near_addrs);
+                far_addrs =
+                  Ipv4.Set.union m.far_addrs (Ipv4.Set.of_list r.Output.far_addrs);
+                tags =
+                  (if List.mem r.Output.tag m.tags then m.tags
+                   else m.tags @ [ r.Output.tag ]);
+                seen_by =
+                  (if List.mem run.vp_name m.seen_by then m.seen_by
+                   else m.seen_by @ [ run.vp_name ]) }
+            in
+            acc := List.map (fun x -> if x == m then m' else x) !acc
+          | None ->
+            acc :=
+              { near_addrs = Ipv4.Set.of_list r.Output.near_addrs;
+                far_addrs = Ipv4.Set.of_list r.Output.far_addrs;
+                neighbor = r.Output.neighbor;
+                tags = [ r.Output.tag ];
+                seen_by = [ run.vp_name ] }
+              :: !acc)
+        run.links)
+    runs;
+  List.rev !acc
+
+let per_neighbor merged =
+  let tbl = Asn.Tbl.create 32 in
+  List.iter
+    (fun m ->
+      Asn.Tbl.replace tbl m.neighbor
+        (1 + Option.value ~default:0 (Asn.Tbl.find_opt tbl m.neighbor)))
+    merged;
+  Asn.Tbl.fold (fun a n acc -> (a, n) :: acc) tbl []
+  |> List.sort (fun (a1, n1) (a2, n2) ->
+         match Int.compare n2 n1 with
+         | 0 -> Asn.compare a1 a2
+         | c -> c)
+
+let marginal_utility ~vp_order merged =
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun vp ->
+      List.iteri
+        (fun i m -> if List.mem vp m.seen_by then Hashtbl.replace seen i ())
+        merged;
+      Hashtbl.length seen)
+    vp_order

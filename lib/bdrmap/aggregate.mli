@@ -1,0 +1,36 @@
+(** Network-wide border maps from multiple vantage points (§6): each VP
+    sees the egresses hot-potato routing steers it through; the deployed
+    system merges the per-VP inferences into one map, tracking which VPs
+    observed each link. Links are identified by their neighbor AS and
+    overlapping far-side (or, for silent neighbors, near-side) address
+    sets, so the same physical link seen from two VPs under different
+    inbound interfaces still merges once alias resolution ties the
+    addresses together. *)
+
+open Netcore
+
+type vp_links = { vp_name : string; links : Output.link_record list }
+
+type merged = {
+  near_addrs : Ipv4.Set.t;
+  far_addrs : Ipv4.Set.t;
+  neighbor : Asn.t;
+  tags : Heuristics.tag list;  (** deduplicated, in first-seen order *)
+  seen_by : string list;  (** VPs that observed the link *)
+}
+
+(** [merge runs] combines per-VP link sets. *)
+val merge : vp_links list -> merged list
+
+(** [of_run vp_name graph result] extracts a {!vp_links} from a pipeline
+    run. *)
+val of_run : string -> Rgraph.t -> Heuristics.result -> vp_links
+
+(** [per_neighbor merged] is the link count per neighbor AS, sorted by
+    descending count. *)
+val per_neighbor : merged list -> (Asn.t * int) list
+
+(** [marginal_utility ~vp_order merged] is the cumulative number of
+    distinct links observed after admitting each VP in order — the
+    quantity figure 15 plots. *)
+val marginal_utility : vp_order:string list -> merged list -> int list

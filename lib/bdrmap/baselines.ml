@@ -1,0 +1,64 @@
+open Netcore
+
+type link = {
+  near_addr : Ipv4.t;
+  far_addr : Ipv4.t option;
+  neighbor : Asn.t;
+}
+
+let dedup links =
+  let seen = Hashtbl.create 256 in
+  List.filter
+    (fun l ->
+      let key = (l.near_addr, l.far_addr, l.neighbor) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    links
+
+let naive_ipas ip2as traces =
+  (* A border wherever a host-mapped hop precedes an externally-mapped
+     hop; the external hop's longest-match origin names the neighbor. *)
+  List.concat_map
+    (fun t ->
+      List.filter_map
+        (fun (a, b, _) ->
+          if Ip2as.is_host ip2as a then
+            match Ip2as.classify ip2as b with
+            | Ip2as.External origins ->
+              Some
+                { near_addr = a; far_addr = Some b;
+                  neighbor = Asn.Set.min_elt origins }
+            | Ip2as.Host | Ip2as.Ixp _ | Ip2as.Unrouted | Ip2as.Reserved -> None
+          else None)
+        (Trace.pairs t))
+    traces
+  |> dedup
+
+let mapit ip2as traces =
+  (* Evidence on both sides: the far interface must be followed by
+     another interface mapping to the same external AS (the adjacent
+     addresses MAP-IT's inference needs). Path-end borders are
+     invisible to this rule. *)
+  List.concat_map
+    (fun t ->
+      let rec scan = function
+        | (_, a) :: ((_, b) :: (_, c) :: _ as rest) ->
+          let here =
+            if Ip2as.is_host ip2as a then
+              match (Ip2as.classify ip2as b, Ip2as.classify ip2as c) with
+              | Ip2as.External ob, Ip2as.External oc
+                when not (Asn.Set.disjoint ob oc) ->
+                [ { near_addr = a; far_addr = Some b;
+                    neighbor = Asn.Set.min_elt (Asn.Set.inter ob oc) } ]
+              | _ -> []
+            else []
+          in
+          here @ scan rest
+        | _ -> []
+      in
+      scan t.Trace.hops)
+    traces
+  |> dedup

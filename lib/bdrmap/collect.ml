@@ -1,0 +1,224 @@
+open Netcore
+module Engine = Probesim.Engine
+module Gen = Topogen.Gen
+module Ag = Aliasres.Alias_graph
+
+type t = {
+  traces : Trace.t list;
+  aliases : Ag.t;
+  mates : (Ipv4.t * Ipv4.t * Ipv4.t) list;
+  other_icmp : (Asn.t * Ipv4.t) list;
+  sched : Probesim.Scheduler.t;
+  stopset_hits : int;
+  alias_pairs_tested : int;
+}
+
+(* Per-target-AS stop set (doubletree): the first external address each
+   trace observed; later traces toward the same AS stop at these. *)
+module Stopset = struct
+  type t = (Asn.t, Ipv4.Set.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let mem t asn addr =
+    match Hashtbl.find_opt t asn with
+    | Some s -> Ipv4.Set.mem addr s
+    | None -> false
+
+  let add t asn addr =
+    let cur = Option.value ~default:Ipv4.Set.empty (Hashtbl.find_opt t asn) in
+    Hashtbl.replace t asn (Ipv4.Set.add addr cur)
+end
+
+let external_class ip2as addr =
+  match Ip2as.classify ip2as addr with
+  | Ip2as.External _ | Ip2as.Ixp _ -> true
+  | Ip2as.Host | Ip2as.Unrouted | Ip2as.Reserved -> false
+
+(* One traceroute with per-hop stop-set checks. The fixed flow id is the
+   Paris traceroute discipline (2). *)
+let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset ~target_asn ~dst =
+  let rec go ttl gaps hops =
+    if ttl > cfg.Config.max_ttl || gaps >= cfg.Config.gap_limit then
+      (List.rev hops, Trace.Nothing, false)
+    else
+      match prober.Probesim.Prober.trace_probe ~flow:0 ~dst ~ttl with
+      | None -> go (ttl + 1) (gaps + 1) hops
+      | Some r -> (
+        match r.Engine.kind with
+        | Engine.Echo_reply -> (List.rev hops, Trace.Echo r.Engine.src, false)
+        | Engine.Dest_unreach -> (List.rev hops, Trace.Unreach r.Engine.src, false)
+        | Engine.Ttl_expired ->
+          let hops = (ttl, r.Engine.src) :: hops in
+          if
+            cfg.Config.use_stop_sets
+            && external_class ip2as r.Engine.src
+            && Stopset.mem stopset target_asn r.Engine.src
+          then (List.rev hops, Trace.Nothing, true)
+          else go (ttl + 1) 0 hops)
+  in
+  let hops, closing, stopped = go 1 0 [] in
+  let t = { Trace.dst; target_asn; hops; closing; stopped } in
+  (* Record the first external hop for the stop set. *)
+  (match
+     List.find_opt (fun (_, a) -> external_class ip2as a) t.Trace.hops
+   with
+  | Some (_, a) -> Stopset.add stopset target_asn a
+  | None -> ());
+  t
+
+(* The trace "sees the target": some external TTL-expired hop other than
+   the probed address itself (§5.3's retry rule). *)
+let informative ip2as t =
+  List.exists
+    (fun (_, a) -> external_class ip2as a && not (Ipv4.equal a t.Trace.dst))
+    t.Trace.hops
+
+let gather_traces prober cfg ip2as blocks =
+  let stopset = Stopset.create () in
+  let hits = ref 0 in
+  let traces = ref [] in
+  List.iter
+    (fun (asn, bs) ->
+      List.iter
+        (fun b ->
+          let rec try_candidates = function
+            | [] -> ()
+            | dst :: rest ->
+              let t = trace_one prober cfg ip2as stopset ~target_asn:asn ~dst in
+              if t.Trace.stopped then incr hits;
+              traces := t :: !traces;
+              if not (informative ip2as t || t.Trace.stopped) then try_candidates rest
+          in
+          try_candidates (Targets.candidates ~per_block:cfg.Config.addrs_per_block b))
+        bs)
+    (Targets.by_asn blocks);
+  (List.rev !traces, !hits)
+
+let oracle_of_prober (prober : Probesim.Prober.t) cfg graph a b =
+  if Ipv4.equal a b then `Aliases
+  else if Ag.same_router graph a b then `Aliases
+  else if Ag.vetoed graph a b then `Not_aliases
+  else begin
+    let udp addr =
+      Option.map (fun r -> r.Engine.src) (prober.Probesim.Prober.udp_probe ~dst:addr)
+    in
+    let merc = Aliasres.Mercator.test udp a b in
+    match merc with
+    | Aliasres.Mercator.Aliases ->
+      Ag.add_alias graph a b;
+      `Aliases
+    | Aliasres.Mercator.Not_aliases ->
+      Ag.add_not_alias graph a b;
+      `Not_aliases
+    | Aliasres.Mercator.Unresponsive -> (
+      let sampler addr =
+        Option.map (fun r -> r.Engine.ipid) (prober.Probesim.Prober.ping ~dst:addr)
+      in
+      let wait () = prober.Probesim.Prober.advance cfg.Config.ally_interval_s in
+      match
+        if cfg.Config.ally_proximity then
+          Aliasres.Ally.trial_proximity sampler a b ~samples:cfg.Config.ally_samples
+            ~fudge:1000
+        else
+          Aliasres.Ally.test sampler ~wait a b ~trials:cfg.Config.ally_trials
+            ~samples:cfg.Config.ally_samples
+      with
+      | Aliasres.Ally.Aliases ->
+        Ag.add_alias graph a b;
+        `Aliases
+      | Aliasres.Ally.Not_aliases ->
+        Ag.add_not_alias graph a b;
+        `Not_aliases
+      | Aliasres.Ally.Unresponsive -> `Unknown)
+  end
+
+(* Candidate alias pairs: addresses sharing a predecessor or successor in
+   the collected traces possibly answer from one router (virtual routers,
+   per-destination source selection, parallel links). *)
+let candidate_pairs cfg traces =
+  let seen = Hashtbl.create 4096 in
+  let pairs = ref [] in
+  let count = ref 0 in
+  let note a b =
+    if (not (Ipv4.equal a b)) && !count < cfg.Config.max_alias_candidates then begin
+      let key = if Ipv4.compare a b <= 0 then (a, b) else (b, a) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr count;
+        pairs := key :: !pairs
+      end
+    end
+  in
+  let preds = Hashtbl.create 4096 and succs = Hashtbl.create 4096 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (a, b, _) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt succs a) in
+          if not (List.exists (Ipv4.equal b) cur) then Hashtbl.replace succs a (b :: cur);
+          let cur = Option.value ~default:[] (Hashtbl.find_opt preds b) in
+          if not (List.exists (Ipv4.equal a) cur) then Hashtbl.replace preds b (a :: cur))
+        (Trace.pairs t))
+    traces;
+  let all_pairs l = List.iteri (fun i a -> List.iteri (fun j b -> if j > i then note a b) l) l in
+  Hashtbl.iter (fun _ l -> all_pairs l) succs;
+  Hashtbl.iter (fun _ l -> all_pairs l) preds;
+  List.rev !pairs
+
+let run_with (prober : Probesim.Prober.t) cfg ip2as blocks =
+  let sched = Probesim.Scheduler.create ~pps:prober.Probesim.Prober.pps in
+  let count () = prober.Probesim.Prober.probe_count () in
+  let p0 = count () in
+  let traces, stopset_hits = gather_traces prober cfg ip2as blocks in
+  Probesim.Scheduler.note sched Probesim.Scheduler.Traceroute (count () - p0);
+  let graph = Ag.create () in
+  let oracle = oracle_of_prober prober cfg graph in
+  (* Prefixscan over consecutive hop pairs. *)
+  let p1 = count () in
+  let mates = ref [] in
+  let scanned = Hashtbl.create 4096 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (prev, hop, gap) ->
+          if not gap then
+            let key = (prev, hop) in
+            if not (Hashtbl.mem scanned key) then begin
+              Hashtbl.add scanned key ();
+              match Aliasres.Prefixscan.scan oracle ~prev ~hop with
+              | Some r ->
+                if not (Ipv4.equal r.Aliasres.Prefixscan.mate prev) then
+                  Ag.add_alias graph r.Aliasres.Prefixscan.mate prev;
+                mates := (prev, hop, r.Aliasres.Prefixscan.mate) :: !mates
+              | None -> ()
+            end)
+        (Trace.pairs t))
+    traces;
+  Probesim.Scheduler.note sched Probesim.Scheduler.Prefixscan (count () - p1);
+  (* Candidate alias pairs. *)
+  let p2 = count () in
+  let pairs = candidate_pairs cfg traces in
+  List.iter (fun (a, b) -> ignore (oracle a b)) pairs;
+  Probesim.Scheduler.note sched Probesim.Scheduler.Alias (count () - p2);
+  (* Closing replies whose source maps outside the host: §5.4.8 input. *)
+  let other_icmp =
+    List.filter_map
+      (fun t ->
+        match t.Trace.closing with
+        | Trace.Echo a | Trace.Unreach a -> Some (t.Trace.target_asn, a)
+        | Trace.Nothing -> None)
+      traces
+  in
+  { traces; aliases = graph; mates = List.rev !mates; other_icmp; sched;
+    stopset_hits; alias_pairs_tested = List.length pairs }
+
+let run eng cfg ip2as ~vp blocks =
+  run_with (Probesim.Prober.local eng ~vp) cfg ip2as blocks
+
+(* The oracle's probes are vantage-point independent (direct ping/udp),
+   so any VP works for the local binding. *)
+let alias_oracle eng cfg graph =
+  let w = Engine.world eng in
+  let vp = List.hd w.Gen.vps in
+  oracle_of_prober (Probesim.Prober.local eng ~vp) cfg graph

@@ -1,0 +1,39 @@
+(** The data-collection driver (§5.3): traceroutes toward every external
+    address block with doubletree stop sets, then alias resolution over
+    candidate pairs with Ally (repeated trials), Mercator, and
+    Prefixscan. Produces the raw material the inference step consumes. *)
+
+open Netcore
+module Engine = Probesim.Engine
+module Gen = Topogen.Gen
+
+type t = {
+  traces : Trace.t list;
+  aliases : Aliasres.Alias_graph.t;
+  (* (prev, hop, mate): prefixscan confirmed [hop] is an inbound
+     interface whose subnet mate [mate] is an alias of [prev]. *)
+  mates : (Ipv4.t * Ipv4.t * Ipv4.t) list;
+  (* echo / unreachable closing replies per target AS, for §5.4.8. *)
+  other_icmp : (Asn.t * Ipv4.t) list;
+  sched : Probesim.Scheduler.t;
+  stopset_hits : int;
+  alias_pairs_tested : int;
+}
+
+val run : Engine.t -> Config.t -> Ip2as.t -> vp:Gen.vp -> Targets.block list -> t
+
+(** [run_with prober cfg ip2as blocks] drives collection through an
+    abstract prober — the local engine binding or the §5.8 offload
+    channel ({!Probesim.Offload.remote}). *)
+val run_with : Probesim.Prober.t -> Config.t -> Ip2as.t -> Targets.block list -> t
+
+(** [alias_oracle engine cfg] is the combined Mercator + repeated-Ally
+    oracle used for candidate pairs and prefixscan, recording every
+    verdict into the supplied graph. *)
+val alias_oracle :
+  Engine.t ->
+  Config.t ->
+  Aliasres.Alias_graph.t ->
+  Ipv4.t ->
+  Ipv4.t ->
+  [ `Aliases | `Not_aliases | `Unknown ]

@@ -1,0 +1,22 @@
+(** bdrmap run configuration (§5.2, §5.3): the VP AS set (the hosting
+    network and its manually curated siblings — the only input requiring
+    manual oversight), probing limits, and alias-resolution discipline. *)
+
+open Netcore
+
+type t = {
+  vp_asns : Asn.Set.t;  (** the hosting org's ASes *)
+  max_ttl : int;
+  gap_limit : int;  (** consecutive silent hops ending a trace *)
+  addrs_per_block : int;  (** candidate targets per block (paper: 5) *)
+  ally_trials : int;  (** repeated Ally measurements (paper: 5) *)
+  ally_samples : int;  (** interleaved sample pairs per trial *)
+  ally_interval_s : float;  (** spacing between trials (paper: 300 s) *)
+  ally_proximity : bool;
+      (** use the original proximity comparison instead of MIDAR-style
+          monotonicity (ablation baseline; the paper uses monotonicity) *)
+  use_stop_sets : bool;  (** doubletree stop sets (ablation knob) *)
+  max_alias_candidates : int;  (** cap on candidate pairs probed *)
+}
+
+val default : vp_asns:Asn.Set.t -> t

@@ -1,0 +1,207 @@
+open Netcore
+
+let tag_slug = function
+  | Heuristics.T1_multihomed -> "multihomed"
+  | Heuristics.T2_firewall -> "firewall"
+  | Heuristics.T3_unrouted -> "unrouted"
+  | Heuristics.T4_onenet -> "onenet"
+  | Heuristics.T5_third_party -> "thirdparty"
+  | Heuristics.T5_relationship -> "relationship"
+  | Heuristics.T5_missing_customer -> "missingcust"
+  | Heuristics.T5_hidden_peer -> "hiddenpeer"
+  | Heuristics.T6_count -> "count"
+  | Heuristics.T6_ipas -> "ipas"
+  | Heuristics.T8_silent -> "silent"
+  | Heuristics.T8_other_icmp -> "othericmp"
+
+let tag_of_slug = function
+  | "multihomed" -> Some Heuristics.T1_multihomed
+  | "firewall" -> Some Heuristics.T2_firewall
+  | "unrouted" -> Some Heuristics.T3_unrouted
+  | "onenet" -> Some Heuristics.T4_onenet
+  | "thirdparty" -> Some Heuristics.T5_third_party
+  | "relationship" -> Some Heuristics.T5_relationship
+  | "missingcust" -> Some Heuristics.T5_missing_customer
+  | "hiddenpeer" -> Some Heuristics.T5_hidden_peer
+  | "count" -> Some Heuristics.T6_count
+  | "ipas" -> Some Heuristics.T6_ipas
+  | "silent" -> Some Heuristics.T8_silent
+  | "othericmp" -> Some Heuristics.T8_other_icmp
+  | _ -> None
+
+let closing_str = function
+  | Trace.Nothing -> "-"
+  | Trace.Echo a -> "echo:" ^ Ipv4.to_string a
+  | Trace.Unreach a -> "unreach:" ^ Ipv4.to_string a
+
+let closing_of_str s =
+  if s = "-" then Some Trace.Nothing
+  else
+    match String.split_on_char ':' s with
+    | [ "echo"; a ] -> Option.map (fun a -> Trace.Echo a) (Ipv4.of_string a)
+    | [ "unreach"; a ] -> Option.map (fun a -> Trace.Unreach a) (Ipv4.of_string a)
+    | _ -> None
+
+let trace_to_line (t : Trace.t) =
+  let hops =
+    String.concat ","
+      (List.map (fun (ttl, a) -> Printf.sprintf "%d:%s" ttl (Ipv4.to_string a)) t.Trace.hops)
+  in
+  Printf.sprintf "trace|%s|%d|%d|%s|%s" (Ipv4.to_string t.Trace.dst) t.Trace.target_asn
+    (if t.Trace.stopped then 1 else 0)
+    hops (closing_str t.Trace.closing)
+
+let trace_of_fields dst asn stopped hops closing =
+  match (Ipv4.of_string dst, int_of_string_opt asn, closing_of_str closing) with
+  | Some dst, Some target_asn, Some closing -> (
+    let parse_hop h =
+      match String.split_on_char ':' h with
+      | [ ttl; a ] -> (
+        match (int_of_string_opt ttl, Ipv4.of_string a) with
+        | Some ttl, Some a -> Some (ttl, a)
+        | _ -> None)
+      | _ -> None
+    in
+    let hop_fields = if hops = "" then [] else String.split_on_char ',' hops in
+    let parsed = List.map parse_hop hop_fields in
+    if List.exists Option.is_none parsed then None
+    else
+      Some
+        { Trace.dst; target_asn; hops = List.filter_map Fun.id parsed;
+          closing; stopped = stopped = "1" })
+  | _ -> None
+
+let collection_to_lines (c : Collect.t) =
+  let traces = List.map trace_to_line c.Collect.traces in
+  let pairs =
+    (* Reconstructible evidence: group membership plus vetoes. *)
+    List.concat_map
+      (fun group ->
+        match group with
+        | first :: rest ->
+          List.map
+            (fun a ->
+              Printf.sprintf "alias|%s|%s" (Ipv4.to_string first) (Ipv4.to_string a))
+            rest
+        | [] -> [])
+      (Aliasres.Alias_graph.groups c.Collect.aliases)
+  in
+  let mates =
+    List.map
+      (fun (p, h, m) ->
+        Printf.sprintf "mate|%s|%s|%s" (Ipv4.to_string p) (Ipv4.to_string h)
+          (Ipv4.to_string m))
+      c.Collect.mates
+  in
+  let icmp =
+    List.map
+      (fun (asn, a) -> Printf.sprintf "icmp|%d|%s" asn (Ipv4.to_string a))
+      c.Collect.other_icmp
+  in
+  traces @ pairs @ mates @ icmp
+
+let collection_of_lines lines =
+  let traces = ref [] in
+  let aliases = Aliasres.Alias_graph.create () in
+  let mates = ref [] in
+  let icmp = ref [] in
+  let err line = Error (Printf.sprintf "bad collection line %S" line) in
+  let rec go = function
+    | [] ->
+      Ok
+        { Collect.traces = List.rev !traces;
+          aliases;
+          mates = List.rev !mates;
+          other_icmp = List.rev !icmp;
+          sched = Probesim.Scheduler.create ~pps:100.0;
+          stopset_hits = 0;
+          alias_pairs_tested = 0 }
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go rest
+      else
+        match String.split_on_char '|' line with
+        | [ "trace"; dst; asn; stopped; hops; closing ] -> (
+          match trace_of_fields dst asn stopped hops closing with
+          | Some t ->
+            traces := t :: !traces;
+            go rest
+          | None -> err line)
+        | [ "alias"; a; b ] -> (
+          match (Ipv4.of_string a, Ipv4.of_string b) with
+          | Some a, Some b ->
+            Aliasres.Alias_graph.add_alias aliases a b;
+            go rest
+          | _ -> err line)
+        | [ "notalias"; a; b ] -> (
+          match (Ipv4.of_string a, Ipv4.of_string b) with
+          | Some a, Some b ->
+            Aliasres.Alias_graph.add_not_alias aliases a b;
+            go rest
+          | _ -> err line)
+        | [ "mate"; p; h; m ] -> (
+          match (Ipv4.of_string p, Ipv4.of_string h, Ipv4.of_string m) with
+          | Some p, Some h, Some m ->
+            mates := (p, h, m) :: !mates;
+            go rest
+          | _ -> err line)
+        | [ "icmp"; asn; a ] -> (
+          match (int_of_string_opt asn, Ipv4.of_string a) with
+          | Some asn, Some a ->
+            icmp := (asn, a) :: !icmp;
+            go rest
+          | _ -> err line)
+        | _ -> err line)
+  in
+  go lines
+
+let addrs_str = function
+  | [] -> "-"
+  | addrs -> String.concat "," (List.map Ipv4.to_string addrs)
+
+let links_to_lines g (r : Heuristics.result) =
+  List.map
+    (fun (l : Heuristics.border_link) ->
+      let addrs_of = function
+        | None -> []
+        | Some id -> Rgraph.all_addrs (Rgraph.node g id)
+      in
+      Printf.sprintf "link|%s|%s|%d|%s"
+        (addrs_str (addrs_of l.Heuristics.near_node))
+        (addrs_str (addrs_of l.Heuristics.far_node))
+        l.Heuristics.neighbor (tag_slug l.Heuristics.tag))
+    r.Heuristics.links
+
+type link_record = {
+  near_addrs : Ipv4.t list;
+  far_addrs : Ipv4.t list;
+  neighbor : Asn.t;
+  tag : Heuristics.tag;
+}
+
+let links_of_lines lines =
+  let parse_addrs s =
+    if s = "-" then Some []
+    else
+      let parts = String.split_on_char ',' s in
+      let parsed = List.map Ipv4.of_string parts in
+      if List.exists Option.is_none parsed then None
+      else Some (List.filter_map Fun.id parsed)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc rest
+      else
+        match String.split_on_char '|' line with
+        | [ "link"; near; far; asn; slug ] -> (
+          match
+            (parse_addrs near, parse_addrs far, int_of_string_opt asn, tag_of_slug slug)
+          with
+          | Some near_addrs, Some far_addrs, Some neighbor, Some tag ->
+            go ({ near_addrs; far_addrs; neighbor; tag } :: acc) rest
+          | _ -> Error (Printf.sprintf "bad link line %S" line))
+        | _ -> Error (Printf.sprintf "bad link line %S" line))
+  in
+  go [] lines

@@ -1,0 +1,63 @@
+open Netcore
+module Gen = Topogen.Gen
+module Engine = Probesim.Engine
+module B = Bgpdata
+
+type inputs = {
+  rib : B.Rib.t;
+  rels : B.As_rel.t;
+  ixp : B.Ixp.t;
+  delegations : B.Delegation.t;
+  vp_asns : Asn.Set.t;
+}
+
+let roundtrip to_lines of_lines v =
+  match of_lines (to_lines v) with
+  | Ok v' -> v'
+  | Error e -> invalid_arg ("Pipeline: artifact does not round-trip: " ^ e)
+
+let inputs_of_world (w : Gen.world) bgp =
+  let rib = Routing.Bgp.collector_view bgp w.Gen.collectors in
+  let rib = roundtrip B.Rib.to_lines B.Rib.of_lines rib in
+  let rels = B.Rel_infer.infer (B.Rib.all_paths rib) in
+  let rels = roundtrip B.As_rel.to_lines B.As_rel.of_lines rels in
+  let ixp = roundtrip B.Ixp.to_lines B.Ixp.of_lines w.Gen.ixp_registry in
+  let delegations =
+    roundtrip B.Delegation.to_lines B.Delegation.of_lines w.Gen.delegations
+  in
+  { rib; rels; ixp; delegations; vp_asns = w.Gen.siblings }
+
+type run = {
+  cfg : Config.t;
+  ip2as : Ip2as.t;
+  inputs : inputs;
+  collection : Collect.t;
+  graph : Rgraph.t;
+  inference : Heuristics.result;
+}
+
+let execute ?cfg engine inputs ~vp =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Config.default ~vp_asns:inputs.vp_asns
+  in
+  let ip2as =
+    Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp ~delegations:inputs.delegations
+      ~vp_asns:inputs.vp_asns
+  in
+  let blocks = Targets.blocks ~rib:inputs.rib ~vp_asns:inputs.vp_asns in
+  let collection = Collect.run engine cfg ip2as ~vp blocks in
+  let graph = Rgraph.build collection in
+  let inference = Heuristics.infer cfg ip2as ~rels:inputs.rels graph collection in
+  { cfg; ip2as; inputs; collection; graph; inference }
+
+let setup ?(pps = 100.0) (w : Gen.world) =
+  let bgp =
+    Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+      ~selective:w.Gen.selective
+  in
+  let fwd = Routing.Forwarding.create w.Gen.net bgp in
+  let engine = Engine.create ~pps w fwd in
+  let inputs = inputs_of_world w bgp in
+  (bgp, fwd, engine, inputs)

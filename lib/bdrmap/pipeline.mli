@@ -1,0 +1,38 @@
+(** End-to-end orchestration: assemble the §5.2 input artifacts from the
+    simulated public data sources (through their text serializations, so
+    the inference consumes exactly what a real deployment would parse),
+    run collection (§5.3) and inference (§5.4) from one VP. *)
+
+open Netcore
+module Gen = Topogen.Gen
+module Engine = Probesim.Engine
+
+type inputs = {
+  rib : Bgpdata.Rib.t;  (** public collector view *)
+  rels : Bgpdata.As_rel.t;  (** relationships inferred from public paths *)
+  ixp : Bgpdata.Ixp.t;
+  delegations : Bgpdata.Delegation.t;
+  vp_asns : Asn.Set.t;
+}
+
+(** [inputs_of_world w bgp] builds the public view seen by [w]'s
+    collectors, infers relationships from it, and round-trips every
+    artifact through its text format. *)
+val inputs_of_world : Gen.world -> Routing.Bgp.t -> inputs
+
+type run = {
+  cfg : Config.t;
+  ip2as : Ip2as.t;
+  inputs : inputs;
+  collection : Collect.t;
+  graph : Rgraph.t;
+  inference : Heuristics.result;
+}
+
+(** [execute ?cfg engine inputs ~vp] runs the full pipeline from [vp]. *)
+val execute : ?cfg:Config.t -> Engine.t -> inputs -> vp:Gen.vp -> run
+
+(** [setup world] builds the routing/probing stack for a world:
+    (bgp, forwarding, engine, inputs). *)
+val setup :
+  ?pps:float -> Gen.world -> Routing.Bgp.t * Routing.Forwarding.t * Engine.t * inputs

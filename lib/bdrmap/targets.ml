@@ -1,0 +1,45 @@
+open Netcore
+module B = Bgpdata
+
+type block = { target_asn : Asn.t; first : Ipv4.t; last : Ipv4.t }
+
+let blocks ~rib ~vp_asns =
+  let prefixes = B.Rib.prefixes rib in
+  List.concat_map
+    (fun p ->
+      let origins = B.Rib.origins rib p in
+      if not (Asn.Set.disjoint origins vp_asns) then []
+      else
+        let target_asn = Asn.Set.min_elt origins in
+        let covered = Ipset.add_prefix p Ipset.empty in
+        let remaining =
+          List.fold_left
+            (fun acc sub -> Ipset.remove_prefix sub acc)
+            covered (B.Rib.more_specifics rib p)
+        in
+        List.map (fun (first, last) -> { target_asn; first; last }) (Ipset.ranges remaining))
+    prefixes
+  |> List.sort (fun a b ->
+         match Asn.compare a.target_asn b.target_asn with
+         | 0 -> Ipv4.compare a.first b.first
+         | c -> c)
+
+let by_asn blocks =
+  let tbl = Asn.Tbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun b ->
+      (match Asn.Tbl.find_opt tbl b.target_asn with
+      | None ->
+        order := b.target_asn :: !order;
+        Asn.Tbl.add tbl b.target_asn [ b ]
+      | Some bs -> Asn.Tbl.replace tbl b.target_asn (b :: bs)))
+    blocks;
+  List.rev_map (fun asn -> (asn, List.rev (Asn.Tbl.find tbl asn))) !order
+
+let candidates ~per_block b =
+  let span = Ipv4.diff b.last b.first in
+  let n = min per_block span in
+  let n = max n 1 in
+  List.init n (fun i -> Ipv4.add b.first (i + 1))
+  |> List.filter (fun a -> Ipv4.compare a b.last <= 0)

@@ -1,0 +1,25 @@
+(** Target address-block generation (§5.3 "Generate list of address
+    blocks to probe"): for every externally-routed prefix, the address
+    ranges remaining after carving out more-specific subnets, grouped by
+    target AS. Blocks originated by the hosting org are excluded. *)
+
+open Netcore
+
+type block = {
+  target_asn : Asn.t;  (** canonical origin (smallest of the origin set) *)
+  first : Ipv4.t;
+  last : Ipv4.t;
+}
+
+(** [blocks ~rib ~vp_asns] is the probe list, ordered by AS then address.
+    Multi-origin prefixes yield one block set attributed to the smallest
+    origin. *)
+val blocks : rib:Bgpdata.Rib.t -> vp_asns:Asn.Set.t -> block list
+
+(** [by_asn blocks] groups blocks per target AS, preserving order. *)
+val by_asn : block list -> (Asn.t * block list) list
+
+(** [candidates ~per_block b] is the probe addresses tried inside a
+    block: the first [per_block] addresses starting at [first + 1]
+    (the ".1" convention), clipped to the block. *)
+val candidates : per_block:int -> block -> Ipv4.t list

@@ -1,0 +1,35 @@
+open Netcore
+
+type closing = Echo of Ipv4.t | Unreach of Ipv4.t | Nothing
+
+type t = {
+  dst : Ipv4.t;
+  target_asn : Asn.t;
+  hops : (int * Ipv4.t) list;
+  closing : closing;
+  stopped : bool;
+}
+
+let hop_addrs t = List.map snd t.hops
+
+let pairs t =
+  let rec go = function
+    | (ttl1, a1) :: ((ttl2, a2) :: _ as rest) ->
+      (a1, a2, ttl2 > ttl1 + 1) :: go rest
+    | _ -> []
+  in
+  go t.hops
+
+let last_hop t =
+  match List.rev t.hops with
+  | [] -> None
+  | (_, a) :: _ -> Some a
+
+let pp ppf t =
+  Format.fprintf ppf "%s>" (Ipv4.to_string t.dst);
+  List.iter (fun (ttl, a) -> Format.fprintf ppf " %d:%s" ttl (Ipv4.to_string a)) t.hops;
+  (match t.closing with
+  | Echo a -> Format.fprintf ppf " echo:%s" (Ipv4.to_string a)
+  | Unreach a -> Format.fprintf ppf " unreach:%s" (Ipv4.to_string a)
+  | Nothing -> ());
+  if t.stopped then Format.fprintf ppf " [stop]"

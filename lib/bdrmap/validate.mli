@@ -1,0 +1,43 @@
+(** Ground-truth validation (§5.6): compare inferred border links and
+    neighbor routers against the generator's topology, with the paper's
+    correctness notion — the inferred AS must reflect the correct
+    organization (sibling matches count as correct). *)
+
+open Netcore
+module Gen = Topogen.Gen
+
+type verdict =
+  | Correct
+  | Correct_sibling  (** inferred a sibling of the true operator *)
+  | Wrong_as of Asn.t  (** the true operator's AS *)
+  | Not_border  (** the "neighbor" router is actually the host's *)
+  | Unverifiable  (** no ground-truth router holds the observed addrs *)
+
+type link_eval = { link : Heuristics.border_link; verdict : verdict }
+
+type summary = {
+  total : int;
+  correct : int;  (** Correct + Correct_sibling *)
+  sibling : int;
+  wrong : int;
+  not_border : int;
+  unverifiable : int;
+  pct_correct : float;  (** over verifiable links *)
+}
+
+val links : Gen.world -> Rgraph.t -> Heuristics.result -> link_eval list
+val summarize : link_eval list -> summary
+
+(** [router_accuracy w g r] is the fraction of neighbor-router owner
+    inferences whose org matches the true owner's org (the Tier-1
+    validation style of §5.6). *)
+val router_accuracy : Gen.world -> Rgraph.t -> Heuristics.result -> summary
+
+(** [ixp_members w g r] validates route-server peerings the way §5.6
+    does for the R&E network: for every inferred neighbor router holding
+    a peering-LAN address, the IXP registry's published member for that
+    address must match the inferred operator. Routers whose LAN address
+    was never registered (stale registry entries) count unverifiable. *)
+val ixp_members : Gen.world -> Rgraph.t -> Heuristics.result -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,216 @@
+open Netcore
+
+let sanitize paths =
+  List.filter_map
+    (fun p ->
+      let c = As_path.compact p in
+      if List.length c < 2 || As_path.has_loop p then None else Some c)
+    paths
+
+let transit_degree paths =
+  let tbl : Asn.Set.t Asn.Tbl.t = Asn.Tbl.create 256 in
+  let note mid nbr =
+    let cur = Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt tbl mid) in
+    Asn.Tbl.replace tbl mid (Asn.Set.add nbr cur)
+  in
+  let rec scan = function
+    | a :: b :: c :: rest ->
+      note b a;
+      note b c;
+      scan (b :: c :: rest)
+    | _ -> ()
+  in
+  List.iter scan (sanitize paths);
+  Asn.Tbl.fold (fun a s acc -> Asn.Map.add a (Asn.Set.cardinal s) acc) tbl Asn.Map.empty
+
+let path_adjacency paths =
+  let tbl : Asn.Set.t Asn.Tbl.t = Asn.Tbl.create 256 in
+  let note a b =
+    let cur = Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt tbl a) in
+    Asn.Tbl.replace tbl a (Asn.Set.add b cur)
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (a, b) ->
+          note a b;
+          note b a)
+        (As_path.links p))
+    paths;
+  tbl
+
+(* All middle triples (z, v, u): [v] carried [u]'s routes to [z]. *)
+let triples paths =
+  let out = ref [] in
+  let rec scan = function
+    | z :: v :: u :: rest ->
+      out := (z, v, u) :: !out;
+      scan (v :: u :: rest)
+    | _ -> ()
+  in
+  List.iter scan paths;
+  !out
+
+(* Reachability cone: from the triples, [v -> u] means v forwards routes
+   toward u, so u sits below (or beside) v in the routing hierarchy. The
+   cone of v is everything reachable through such edges. A Tier-1's cone
+   swallows the transit providers and every access network's customers,
+   while an access network's cone holds only its own stubs — this is what
+   separates a genuinely top-tier AS from a high-degree edge network. *)
+let cone_sizes paths =
+  let down : Asn.Set.t Asn.Tbl.t = Asn.Tbl.create 256 in
+  List.iter
+    (fun (_, v, u) ->
+      let cur = Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt down v) in
+      Asn.Tbl.replace down v (Asn.Set.add u cur))
+    (triples paths);
+  let memo : Asn.Set.t Asn.Tbl.t = Asn.Tbl.create 256 in
+  let rec cone visiting v =
+    match Asn.Tbl.find_opt memo v with
+    | Some s -> s
+    | None ->
+      if Asn.Set.mem v visiting then Asn.Set.empty
+      else begin
+        let visiting = Asn.Set.add v visiting in
+        let direct = Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt down v) in
+        let s =
+          Asn.Set.fold
+            (fun u acc -> Asn.Set.union (cone visiting u) acc)
+            direct direct
+        in
+        Asn.Tbl.replace memo v s;
+        s
+      end
+  in
+  Asn.Tbl.iter (fun v _ -> ignore (cone Asn.Set.empty v)) down;
+  memo
+
+let infer_clique ?(size = 15) paths =
+  let paths = sanitize paths in
+  let td = transit_degree paths in
+  let cones = cone_sizes paths in
+  let cone a =
+    match Asn.Tbl.find_opt cones a with
+    | Some s -> Asn.Set.cardinal s
+    | None -> 0
+  in
+  let adj = path_adjacency paths in
+  let adjacent a b =
+    match Asn.Tbl.find_opt adj a with
+    | Some s -> Asn.Set.mem b s
+    | None -> false
+  in
+  let candidates =
+    Asn.Map.bindings td
+    |> List.map (fun (a, d) -> (a, (cone a, d)))
+    |> List.sort (fun (_, k1) (_, k2) -> compare k2 k1)
+    |> List.filteri (fun i _ -> i < size)
+    |> List.map fst
+  in
+  match candidates with
+  | [] -> Asn.Set.empty
+  | seed :: rest ->
+    List.fold_left
+      (fun clique a ->
+        if Asn.Set.for_all (fun m -> adjacent a m) clique then Asn.Set.add a clique
+        else clique)
+      (Asn.Set.singleton seed) rest
+
+type vote = { mutable c2p_right : int; mutable c2p_left : int; mutable p2p : int }
+
+let vote_pass clique paths =
+  let paths = sanitize paths in
+  let td = transit_degree paths in
+  let deg a = Option.value ~default:0 (Asn.Map.find_opt a td) in
+  let votes : (Asn.t * Asn.t, vote) Hashtbl.t = Hashtbl.create 1024 in
+  let vote_of a b =
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt votes key with
+    | Some v -> v
+    | None ->
+      let v = { c2p_right = 0; c2p_left = 0; p2p = 0 } in
+      Hashtbl.add votes key v;
+      v
+  in
+  (* c2p_right on canonical key (a,b) with a<b means a is customer of b. *)
+  let vote_c2p ~customer ~provider =
+    let v = vote_of customer provider in
+    if customer < provider then v.c2p_right <- v.c2p_right + 1
+    else v.c2p_left <- v.c2p_left + 1
+  in
+  let vote_p2p a b =
+    let v = vote_of a b in
+    v.p2p <- v.p2p + 1
+  in
+  let annotate path =
+    let arr = Array.of_list path in
+    let n = Array.length arr in
+    (* Apex: leftmost clique member, else leftmost AS of maximal transit
+       degree. Links left of the apex carry the route downhill toward the
+       collector (left AS is the customer), links right of it descend
+       toward the origin (left AS is the provider). *)
+    let apex = ref 0 in
+    for i = 1 to n - 1 do
+      let better =
+        let in_clique a = Asn.Set.mem a clique in
+        match (in_clique arr.(i), in_clique arr.(!apex)) with
+        | true, false -> true
+        | false, true -> false
+        | _ -> deg arr.(i) > deg arr.(!apex)
+      in
+      if better then apex := i
+    done;
+    for i = 0 to n - 2 do
+      let a = arr.(i) and b = arr.(i + 1) in
+      if Asn.Set.mem a clique && Asn.Set.mem b clique then vote_p2p a b
+      else if i + 1 <= !apex then vote_c2p ~customer:a ~provider:b
+      else vote_c2p ~customer:b ~provider:a
+    done
+  in
+  List.iter annotate paths;
+  let prelim =
+    Hashtbl.fold
+      (fun (a, b) v acc ->
+        if Asn.Set.mem a clique && Asn.Set.mem b clique then As_rel.add_p2p acc a b
+        else if v.c2p_right > 0 && v.c2p_left > 0 then
+          if v.c2p_right >= 2 * v.c2p_left then As_rel.add_c2p acc ~provider:b ~customer:a
+          else if v.c2p_left >= 2 * v.c2p_right then As_rel.add_c2p acc ~provider:a ~customer:b
+          else As_rel.add_p2p acc a b
+        else if v.c2p_right > 0 then As_rel.add_c2p acc ~provider:b ~customer:a
+        else if v.c2p_left > 0 then As_rel.add_c2p acc ~provider:a ~customer:b
+        else As_rel.add_p2p acc a b)
+      votes As_rel.empty
+  in
+  prelim
+
+let infer_with_clique clique paths =
+  let paths = sanitize paths in
+  let prelim = vote_pass clique paths in
+  (* Export-direction refinement: if u is truly v's customer, v exports
+     u's routes to its own peers and providers, so some path shows
+     [z, v, u] with z not a customer of v. A peer's routes only ever
+     descend into v's customer cone, so no such segment can exist. *)
+  let up_evidence = Hashtbl.create 1024 in
+  List.iter
+    (fun (z, v, u) ->
+      match As_rel.rel prelim ~of_:v ~with_:z with
+      | Some As_rel.Peer | Some As_rel.Provider -> Hashtbl.replace up_evidence (v, u) ()
+      | Some As_rel.Customer | None -> ())
+    (triples paths);
+  let refined = ref As_rel.empty in
+  Asn.Set.iter
+    (fun a ->
+      (* Each c2p edge visited once, from the customer side. *)
+      Asn.Set.iter
+        (fun p ->
+          if Hashtbl.mem up_evidence (p, a) then
+            refined := As_rel.add_c2p !refined ~provider:p ~customer:a
+          else refined := As_rel.add_p2p !refined a p)
+        (As_rel.providers prelim a);
+      Asn.Set.iter
+        (fun b -> if a < b then refined := As_rel.add_p2p !refined a b)
+        (As_rel.peers prelim a))
+    (As_rel.asns prelim);
+  !refined
+
+let infer paths = infer_with_clique (infer_clique paths) paths

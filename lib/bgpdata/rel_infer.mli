@@ -1,0 +1,33 @@
+(** Inference of AS relationships from public BGP paths, a reduction of
+    the algorithm of Luckie et al., "AS Relationships, Customer Cones,
+    and Validation" (IMC 2013), which the paper consumes as input (§5.2).
+
+    Pipeline: sanitize paths (drop loops, compact prepending), compute
+    transit degrees, infer the Tier-1 clique, annotate every path link by
+    its position relative to the path apex under the valley-free
+    assumption, then resolve votes into c2p / p2p labels. *)
+
+open Netcore
+
+(** [transit_degree paths] maps each AS to the number of distinct
+    neighbors it is observed providing transit between (appears adjacent
+    to it while in the middle of a path). *)
+val transit_degree : As_path.t list -> int Asn.Map.t
+
+(** [infer_clique ?size paths] is the inferred Tier-1 clique: the largest
+    set of high-transit-degree ASes mutually adjacent in paths, grown
+    greedily from the highest-degree AS. [size] caps candidates
+    considered (default 15). *)
+val infer_clique : ?size:int -> As_path.t list -> Asn.Set.t
+
+(** [infer paths] is the full relationship inference. *)
+val infer : As_path.t list -> As_rel.t
+
+(** [infer_with_clique clique paths] runs annotation with a known clique
+    (used by tests and ablations). *)
+val infer_with_clique : Asn.Set.t -> As_path.t list -> As_rel.t
+
+(** [vote_pass clique paths] is the preliminary valley-free voting result
+    before the export-direction refinement (exposed for tests and
+    ablation benches). *)
+val vote_pass : Asn.Set.t -> As_path.t list -> As_rel.t

@@ -1,0 +1,143 @@
+open Netcore
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+module H = Bdrmap.Heuristics
+
+type heuristic_row = {
+  label : string;
+  links : int;
+  pct_correct : float;
+  coverage_pct : float;
+}
+
+type alias_row = {
+  label : string;
+  pairs_tested : int;
+  false_alias_groups : int;
+}
+
+type rel_row = { label : string; agree : int; total : int }
+
+type t = {
+  heuristics : heuristic_row list;
+  alias : alias_row list;
+  rels : rel_row list;
+}
+
+let heuristic_ablation env vp =
+  let run0 = Exp_common.run_vp env vp in
+  let cases =
+    [ ("full", []);
+      ("no firewall (2)", [ H.T2_firewall ]);
+      ("no unrouted (3)", [ H.T3_unrouted ]);
+      ("no onenet (4)", [ H.T4_onenet ]);
+      ("no third-party (5)", [ H.T5_third_party ]);
+      ("no relationship (5)", [ H.T5_relationship ]);
+      ("no count (6)", [ H.T6_count ]) ]
+  in
+  List.map
+    (fun (label, disabled) ->
+      let inference =
+        H.infer ~disabled run0.Bdrmap.Pipeline.cfg run0.Bdrmap.Pipeline.ip2as
+          ~rels:env.Exp_common.inputs.Bdrmap.Pipeline.rels run0.Bdrmap.Pipeline.graph
+          run0.Bdrmap.Pipeline.collection
+      in
+      let evals = Bdrmap.Validate.links env.Exp_common.world run0.Bdrmap.Pipeline.graph inference in
+      let s = Bdrmap.Validate.summarize evals in
+      let table =
+        Bdrmap.Report.table1 ~rels:env.Exp_common.inputs.Bdrmap.Pipeline.rels
+          ~vp_asns:env.Exp_common.inputs.Bdrmap.Pipeline.vp_asns inference
+      in
+      ({ label; links = s.Bdrmap.Validate.total;
+        pct_correct = s.Bdrmap.Validate.pct_correct;
+        coverage_pct = table.Bdrmap.Report.coverage_pct } : heuristic_row))
+    cases
+
+(* Count alias groups whose addresses truly live on different routers. *)
+let false_groups (w : Gen.world) aliases =
+  List.length
+    (List.filter
+       (fun group ->
+         let rids =
+           List.filter_map
+             (fun a -> Option.map (fun (r : Net.router) -> r.Net.rid) (Net.owner_of_addr w.Gen.net a))
+             group
+           |> List.sort_uniq compare
+         in
+         List.length rids > 1)
+       (Aliasres.Alias_graph.groups aliases))
+
+let alias_ablation params =
+  List.map
+    (fun (label, proximity, trials) ->
+      let env = Exp_common.make params in
+      let vp = List.hd env.Exp_common.world.Gen.vps in
+      let cfg =
+        { (Bdrmap.Config.default ~vp_asns:env.Exp_common.inputs.Bdrmap.Pipeline.vp_asns)
+          with
+          Bdrmap.Config.ally_trials = trials;
+          ally_proximity = proximity }
+      in
+      let r = Bdrmap.Pipeline.execute ~cfg env.Exp_common.engine env.Exp_common.inputs ~vp in
+      ({ label;
+         pairs_tested = r.Bdrmap.Pipeline.collection.Bdrmap.Collect.alias_pairs_tested;
+         false_alias_groups =
+           false_groups env.Exp_common.world
+             r.Bdrmap.Pipeline.collection.Bdrmap.Collect.aliases }
+        : alias_row))
+    [ ("classic proximity, 1 trial", true, 1);
+      ("monotonic, 1 trial", false, 1);
+      ("monotonic, 5 trials", false, 5) ]
+
+let rel_ablation env =
+  let w = env.Exp_common.world in
+  let rib = env.Exp_common.inputs.Bdrmap.Pipeline.rib in
+  let paths = Bgpdata.Rib.all_paths rib in
+  let clique = Bgpdata.Rel_infer.infer_clique paths in
+  let agree rels =
+    let truth = Gen.host_neighbor_truth w in
+    Asn.Map.fold
+      (fun asn kind (a, t) ->
+        let inferred = Bgpdata.As_rel.rel rels ~of_:w.Gen.host_asn ~with_:asn in
+        let ok =
+          match (kind, inferred) with
+          | `Customer, Some Bgpdata.As_rel.Customer -> true
+          | `Peer, Some Bgpdata.As_rel.Peer -> true
+          | `Provider, Some Bgpdata.As_rel.Provider -> true
+          | _ -> false
+        in
+        ((if ok then a + 1 else a), t + 1))
+      truth (0, 0)
+  in
+  let with_ref = agree (Bgpdata.Rel_infer.infer_with_clique clique paths) in
+  let without = agree (Bgpdata.Rel_infer.vote_pass clique paths) in
+  [ { label = "votes + export-direction refinement"; agree = fst with_ref; total = snd with_ref };
+    { label = "votes only"; agree = fst without; total = snd without } ]
+
+let run ?(scale = 1.0) () =
+  let params = Topogen.Scenario.large_access ~scale () in
+  let env = Exp_common.make params in
+  let vp = List.hd env.Exp_common.world.Gen.vps in
+  { heuristics = heuristic_ablation env vp;
+    alias = alias_ablation (Topogen.Scenario.r_and_e ~scale ());
+    rels = rel_ablation env }
+
+let print ppf t =
+  Format.fprintf ppf "== Ablations ==@.";
+  Format.fprintf ppf "heuristic steps (large access):@.";
+  Format.fprintf ppf "  %-24s %7s %9s %9s@." "variant" "links" "correct" "coverage";
+  List.iter
+    (fun (r : heuristic_row) ->
+      Format.fprintf ppf "  %-24s %7d %8.1f%% %8.1f%%@." r.label r.links r.pct_correct
+        r.coverage_pct)
+    t.heuristics;
+  Format.fprintf ppf "Ally discipline (R&E):@.";
+  List.iter
+    (fun (r : alias_row) ->
+      Format.fprintf ppf "  %-28s pairs=%d false-alias groups=%d@." r.label
+        r.pairs_tested r.false_alias_groups)
+    t.alias;
+  Format.fprintf ppf "relationship inference (host neighbors correct):@.";
+  List.iter
+    (fun r -> Format.fprintf ppf "  %-38s %d/%d@." r.label r.agree r.total)
+    t.rels

@@ -1,0 +1,31 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+
+    - disabling individual heuristic steps, measuring the accuracy and
+      coverage a downstream user would lose;
+    - Ally trial repetition (1 vs 5 trials): false-alias rate;
+    - the export-direction refinement in relationship inference:
+      relationship agreement with ground truth with and without it. *)
+
+type heuristic_row = {
+  label : string;
+  links : int;
+  pct_correct : float;
+  coverage_pct : float;
+}
+
+type alias_row = {
+  label : string;
+  pairs_tested : int;
+  false_alias_groups : int;  (** alias groups spanning several true routers *)
+}
+
+type rel_row = { label : string; agree : int; total : int }
+
+type t = {
+  heuristics : heuristic_row list;
+  alias : alias_row list;
+  rels : rel_row list;
+}
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

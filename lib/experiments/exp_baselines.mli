@@ -1,0 +1,22 @@
+(** Baseline comparison (§3, §4): bdrmap versus the canonical IP-AS
+    mapping approach and a MAP-IT-style interface-graph inference, all
+    run over the same collected traces. The paper's claims:
+
+    - naive longest-match transitions mis-attribute borders for the seven
+      reasons of §4 (neighbor-supplied addresses alone put most customer
+      borders one AS off);
+    - MAP-IT needs adjacent addresses inside the neighbor and therefore
+      cannot place the ~half of interdomain links that sit at the end of
+      paths (firewalled/silent customers). *)
+
+type row = {
+  algorithm : string;
+  links : int;
+  neighbors : int;  (** distinct neighbor ASes with at least one link *)
+  correct_pct : float;  (** of verifiable links, neighbor org correct *)
+}
+
+type t = { scenario : string; rows : row list }
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

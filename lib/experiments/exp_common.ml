@@ -1,0 +1,64 @@
+open Netcore
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+
+type env = {
+  world : Gen.world;
+  bgp : Routing.Bgp.t;
+  fwd : Routing.Forwarding.t;
+  engine : Probesim.Engine.t;
+  inputs : Bdrmap.Pipeline.inputs;
+}
+
+(* Worlds are deterministic in their parameters, and the probing engine
+   is reusable across experiments (collection accounting works on
+   deltas), so environments are shared between experiments. *)
+let cache : (Gen.params * float, env) Hashtbl.t = Hashtbl.create 8
+
+let make ?(pps = 100.0) params =
+  match Hashtbl.find_opt cache (params, pps) with
+  | Some env -> env
+  | None ->
+    let world = Gen.generate params in
+    let bgp, fwd, engine, inputs = Bdrmap.Pipeline.setup ~pps world in
+    let env = { world; bgp; fwd; engine; inputs } in
+    Hashtbl.add cache (params, pps) env;
+    env
+
+let run_vp env vp = Bdrmap.Pipeline.execute env.engine env.inputs ~vp
+
+let org_of env asn =
+  match Bgpdata.As2org.org_of env.world.Gen.as2org asn with
+  | Some o -> o
+  | None -> Printf.sprintf "unknown-%d" asn
+
+let host_links_to env ~neighbor_org =
+  let host_org = org_of env env.world.Gen.host_asn in
+  List.filter
+    (fun (l : Net.link) ->
+      let oa = org_of env (Net.router env.world.Gen.net (fst l.Net.a)).Net.owner in
+      let ob = org_of env (Net.router env.world.Gen.net (fst l.Net.b)).Net.owner in
+      (String.equal oa host_org && String.equal ob neighbor_org)
+      || (String.equal ob host_org && String.equal oa neighbor_org))
+    (Net.interdomain_links env.world.Gen.net)
+
+let crossing_link env ~vp ~dst =
+  let host_org = org_of env env.world.Gen.host_asn in
+  let steps = Routing.Forwarding.path env.fwd ~src_rid:vp.Gen.vp_rid ~dst () in
+  List.find_map
+    (fun (s : Routing.Forwarding.step) ->
+      match s.Routing.Forwarding.in_link with
+      | Some l when l.Net.kind <> Net.Internal ->
+        let oa = org_of env (Net.router env.world.Gen.net (fst l.Net.a)).Net.owner in
+        let ob = org_of env (Net.router env.world.Gen.net (fst l.Net.b)).Net.owner in
+        if String.equal oa host_org || String.equal ob host_org then Some l else None
+      | _ -> None)
+    steps
+
+let external_prefixes env =
+  let vp_asns = env.world.Gen.siblings in
+  List.filter_map
+    (fun (p, origins) ->
+      if Asn.Set.disjoint origins vp_asns then Some (p, Ipv4.add (Prefix.first p) 1)
+      else None)
+    (Gen.originated env.world)

@@ -1,0 +1,36 @@
+(** Shared experiment plumbing: build a world once, run the bdrmap
+    pipeline from one or many VPs over a shared probing engine, and map
+    observations back to ground truth where a figure needs true
+    router identity (standing in for MIDAR-grade alias resolution). *)
+
+open Netcore
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+
+type env = {
+  world : Gen.world;
+  bgp : Routing.Bgp.t;
+  fwd : Routing.Forwarding.t;
+  engine : Probesim.Engine.t;
+  inputs : Bdrmap.Pipeline.inputs;
+}
+
+val make : ?pps:float -> Gen.params -> env
+
+(** [run_vp env vp] executes the full pipeline from [vp]. *)
+val run_vp : env -> Gen.vp -> Bdrmap.Pipeline.run
+
+(** [org_of env asn] resolves the ground-truth organization. *)
+val org_of : env -> Asn.t -> string
+
+(** [host_links_to env ~neighbor_org] is every true interdomain link of
+    the hosting org with [neighbor_org]. *)
+val host_links_to : env -> neighbor_org:string -> Net.link list
+
+(** [crossing_link env ~vp ~dst] is the first interdomain link the
+    forward path from [vp] to [dst] crosses out of the hosting org. *)
+val crossing_link : env -> vp:Gen.vp -> dst:Ipv4.t -> Net.link option
+
+(** [external_prefixes env] is every routed prefix not originated by the
+    hosting org, with a representative probe address. *)
+val external_prefixes : env -> (Prefix.t * Ipv4.t) list

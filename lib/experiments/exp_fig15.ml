@@ -1,0 +1,84 @@
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+
+type series = {
+  neighbor : string;
+  total_links : int;
+  cumulative : int list;
+}
+
+type t = { n_vps : int; series : series list }
+
+let run ?(scale = 1.0) () =
+  let params = Topogen.Scenario.large_access ~scale () in
+  (* Destination composition matters for path diversity: the measured
+     Internet is dominated by remote prefixes, not direct customers. *)
+  let params = { params with Topogen.Gen.n_remote = params.Topogen.Gen.n_remote * 3 } in
+  let env = Exp_common.make params in
+  let w = env.Exp_common.world in
+  let prefixes = Exp_common.external_prefixes env in
+  (* Links out of the host crossed from each VP, per neighbor org. *)
+  let links_seen_by vp =
+    List.fold_left
+      (fun acc (_, dst) ->
+        match Exp_common.crossing_link env ~vp ~dst with
+        | Some l -> l.Net.lid :: acc
+        | None -> acc)
+      [] prefixes
+    |> List.sort_uniq compare
+  in
+  let per_vp = List.map links_seen_by w.Gen.vps in
+  let targets =
+    (Printf.sprintf "level3-like (AS%d)" w.Gen.big_peer, Exp_common.org_of env w.Gen.big_peer)
+    :: List.mapi
+         (fun i asn ->
+           let style =
+             match i mod 3 with
+             | 0 -> "akamai-like"
+             | 1 -> "google-like"
+             | _ -> "cdn"
+           in
+           (Printf.sprintf "%s (AS%d)" style asn, Exp_common.org_of env asn))
+         w.Gen.cdn_peers
+  in
+  let series =
+    List.map
+      (fun (label, org) ->
+        let truth =
+          List.map (fun (l : Net.link) -> l.Net.lid) (Exp_common.host_links_to env ~neighbor_org:org)
+        in
+        let truth_set = List.sort_uniq compare truth in
+        let cumulative =
+          List.rev
+            (snd
+               (List.fold_left
+                  (fun (seen, acc) vp_links ->
+                    let seen =
+                      List.sort_uniq compare
+                        (seen @ List.filter (fun l -> List.mem l truth_set) vp_links)
+                    in
+                    (seen, List.length seen :: acc))
+                  ([], []) per_vp))
+        in
+        { neighbor = label; total_links = List.length truth_set; cumulative })
+      targets
+  in
+  { n_vps = List.length w.Gen.vps; series }
+
+let print ppf t =
+  Format.fprintf ppf "== Experiment F15: marginal utility of VPs (fig 15) ==@.";
+  Format.fprintf ppf "%-28s %6s  cumulative links by #VPs (1..%d)@." "neighbor" "total"
+    t.n_vps;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-28s %6d " s.neighbor s.total_links;
+      List.iter (fun c -> Format.fprintf ppf " %3d" c) s.cumulative;
+      let vps_needed =
+        let rec go i = function
+          | [] -> i
+          | c :: rest -> if c >= s.total_links then i + 1 else go (i + 1) rest
+        in
+        go 0 s.cumulative
+      in
+      Format.fprintf ppf "  (all links at %d VPs)@." vps_needed)
+    t.series

@@ -1,0 +1,16 @@
+(** Experiment F15 — Figure 15: marginal utility of VPs for discovering
+    a large access network's interconnections with selected neighbors.
+    The paper's extremes: one VP suffices for Akamai (prefixes pinned to
+    individual interconnects), while all 45 Level3 links require 17 VPs
+    (hot-potato routing reveals only nearby exits). *)
+
+type series = {
+  neighbor : string;  (** label, e.g. "level3-like (AS1010)" *)
+  total_links : int;  (** ground-truth link count with the host *)
+  cumulative : int list;  (** links discovered after 1..n VPs *)
+}
+
+type t = { n_vps : int; series : series list }
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

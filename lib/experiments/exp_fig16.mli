@@ -1,0 +1,17 @@
+(** Experiment F16 — Figure 16: the effect of VP geography on which
+    interdomain links a VP observes. Each row is one VP (with its
+    longitude); the marks are the longitudes of the host-side routers of
+    the links that VP observed toward a given neighbor. Akamai-style
+    announcement lets any VP see every link; Level3-style hot potato
+    shows each VP only its region. *)
+
+type mark = { link_lid : int; lon : float; city : string }
+
+type vp_row = { vp_name : string; vp_lon : float; marks : mark list }
+
+type neighbor_plot = { neighbor : string; rows : vp_row list; total_links : int }
+
+type t = neighbor_plot list
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** Experiment R2 — §5.8 resource-limited devices: state footprint of a
+    standalone bdrmap versus the split prober/controller deployment,
+    sized from an actual large-access run. The paper: bdrmap needs
+    ~150 MB, the scamper prober on a BISmark device used 3.5 MB, and the
+    whitebox device class has 32 MB total. *)
+
+type t = {
+  inputs : Probesim.Remote.inputs;
+  standalone : Probesim.Remote.footprint;
+  split : Probesim.Remote.footprint;
+  standalone_fits_whitebox : bool;
+  split_fits_whitebox : bool;
+}
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

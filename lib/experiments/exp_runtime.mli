@@ -1,0 +1,18 @@
+(** Experiment R1 — §5.3 run-time model: probe counts and simulated
+    duration at 100 pps per scenario, plus the doubletree stop-set
+    ablation. The paper reports ≈12 h for the R&E network and ≈48 h for
+    large U.S. broadband providers; the absolute numbers scale with the
+    routed-prefix count, so we report the shape (ratios). *)
+
+type row = {
+  scenario : string;
+  probes : int;
+  duration_h : float;
+  trace_probes : int;
+  alias_probes : int;
+  stopset_hits : int;
+  probes_without_stopset : int;  (** ablation: same run, stop sets off *)
+}
+
+val run : ?scale:float -> unit -> row list
+val print : Format.formatter -> row list -> unit

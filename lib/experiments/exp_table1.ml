@@ -1,0 +1,33 @@
+type row = {
+  scenario : string;
+  table : Bdrmap.Report.t;
+  paper_coverage : float;
+}
+
+let scenarios scale =
+  [ ("R&E network", Topogen.Scenario.r_and_e ~scale (), 93.9);
+    ("Large access network", Topogen.Scenario.large_access ~scale (), 92.2);
+    ("Tier-1 network", Topogen.Scenario.tier1 ~scale (), 96.8) ]
+
+let run ?(scale = 1.0) () =
+  List.map
+    (fun (name, params, paper_coverage) ->
+      let env = Exp_common.make params in
+      let vp = List.hd env.Exp_common.world.Topogen.Gen.vps in
+      let r = Exp_common.run_vp env vp in
+      let table =
+        Bdrmap.Report.table1 ~rels:env.Exp_common.inputs.Bdrmap.Pipeline.rels
+          ~vp_asns:env.Exp_common.inputs.Bdrmap.Pipeline.vp_asns
+          r.Bdrmap.Pipeline.inference
+      in
+      { scenario = name; table; paper_coverage })
+    (scenarios scale)
+
+let print ppf rows =
+  Format.fprintf ppf "== Experiment T1: Table 1 ==@.";
+  List.iter
+    (fun row ->
+      Bdrmap.Report.print ~title:row.scenario ppf row.table;
+      Format.fprintf ppf "%-24s %8.1f%% (paper: %.1f%%)@.@." "Coverage vs paper"
+        row.table.Bdrmap.Report.coverage_pct row.paper_coverage)
+    rows

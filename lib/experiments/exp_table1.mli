@@ -1,0 +1,12 @@
+(** Experiment T1 — Table 1: coverage of BGP-observed neighbors and the
+    per-relationship-class heuristic breakdown, for the R&E, large
+    access, and Tier-1 scenarios. *)
+
+type row = {
+  scenario : string;
+  table : Bdrmap.Report.t;
+  paper_coverage : float;  (** the paper's coverage number for comparison *)
+}
+
+val run : ?scale:float -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,63 @@
+type row = {
+  scenario : string;
+  vp_name : string;
+  links : Bdrmap.Validate.summary;
+  routers : Bdrmap.Validate.summary;
+  ixp : Bdrmap.Validate.summary;
+  paper_pct : float;
+}
+
+let run ?(scale = 1.0) () =
+  let eval env vp scenario paper_pct =
+    let r = Exp_common.run_vp env vp in
+    let evals =
+      Bdrmap.Validate.links env.Exp_common.world r.Bdrmap.Pipeline.graph
+        r.Bdrmap.Pipeline.inference
+    in
+    { scenario;
+      vp_name = vp.Topogen.Gen.vp_name;
+      links = Bdrmap.Validate.summarize evals;
+      routers =
+        Bdrmap.Validate.router_accuracy env.Exp_common.world r.Bdrmap.Pipeline.graph
+          r.Bdrmap.Pipeline.inference;
+      ixp =
+        Bdrmap.Validate.ixp_members env.Exp_common.world r.Bdrmap.Pipeline.graph
+          r.Bdrmap.Pipeline.inference;
+      paper_pct }
+  in
+  let one params scenario paper_pct ~vps =
+    let env = Exp_common.make params in
+    let chosen =
+      List.filteri (fun i _ -> i < vps) env.Exp_common.world.Topogen.Gen.vps
+    in
+    List.map (fun vp -> eval env vp scenario paper_pct) chosen
+  in
+  one (Topogen.Scenario.r_and_e ~scale ()) "R&E network" 96.3 ~vps:1
+  @ one (Topogen.Scenario.large_access ~scale ()) "Large access network" 98.0 ~vps:3
+  @ one (Topogen.Scenario.tier1 ~scale ()) "Tier-1 network" 97.5 ~vps:1
+  @ one (Topogen.Scenario.small_access ~scale ()) "Small access network" 96.6 ~vps:1
+
+let print ppf rows =
+  Format.fprintf ppf "== Experiment V1: validation against ground truth (5.6) ==@.";
+  Format.fprintf ppf "%-22s %-18s %7s %9s %9s %9s@." "scenario" "vp" "links"
+    "correct" "measured" "paper";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %-18s %7d %9d %8.1f%% %8.1f%%@." r.scenario r.vp_name
+        r.links.Bdrmap.Validate.total r.links.Bdrmap.Validate.correct
+        r.links.Bdrmap.Validate.pct_correct r.paper_pct)
+    rows;
+  Format.fprintf ppf "@.Neighbor-router owner accuracy (Tier-1 style):@.";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-22s %-18s routers=%d correct=%.1f%%@." r.scenario
+        r.vp_name r.routers.Bdrmap.Validate.total r.routers.Bdrmap.Validate.pct_correct)
+    rows;
+  Format.fprintf ppf "@.Route-server peers vs IXP registry (R&E style, paper: 84/88):@.";
+  List.iter
+    (fun r ->
+      if r.ixp.Bdrmap.Validate.total > 0 then
+        Format.fprintf ppf "  %-22s %-18s members=%d correct=%.1f%% stale=%d@."
+          r.scenario r.vp_name r.ixp.Bdrmap.Validate.total
+          r.ixp.Bdrmap.Validate.pct_correct r.ixp.Bdrmap.Validate.unverifiable)
+    rows

@@ -1,0 +1,15 @@
+(** Experiment V1 — §5.6 validation against ground truth for the four
+    networks. The paper reports: R&E 96.3%, large access 97.0-98.9%
+    (three VPs), Tier-1 97.5% (neighbor routers), small access 96.6%. *)
+
+type row = {
+  scenario : string;
+  vp_name : string;
+  links : Bdrmap.Validate.summary;
+  routers : Bdrmap.Validate.summary;
+  ixp : Bdrmap.Validate.summary;  (** route-server peers vs IXP registry *)
+  paper_pct : float;
+}
+
+val run : ?scale:float -> unit -> row list
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,77 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+let zero = 0
+let broadcast = mask32
+let of_int i = i land mask32
+let to_int a = a
+
+let of_octets a b c d =
+  ((a land 0xff) lsl 24) lor ((b land 0xff) lsl 16)
+  lor ((c land 0xff) lsl 8) lor (d land 0xff)
+
+let to_octets a =
+  ((a lsr 24) land 0xff, (a lsr 16) land 0xff, (a lsr 8) land 0xff, a land 0xff)
+
+let of_string s =
+  let n = String.length s in
+  (* Hand-rolled parse: strict dotted quad, no leading garbage accepted. *)
+  let rec octet i acc digits =
+    if i >= n then (i, acc, digits)
+    else
+      match s.[i] with
+      | '0' .. '9' when digits < 3 ->
+        octet (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0')) (digits + 1)
+      | _ -> (i, acc, digits)
+  in
+  let rec go i k acc =
+    let j, v, digits = octet i 0 0 in
+    if digits = 0 || v > 255 then None
+    else
+      let acc = (acc lsl 8) lor v in
+      if k = 3 then if j = n then Some acc else None
+      else if j < n && s.[j] = '.' then go (j + 1) (k + 1) acc
+      else None
+  in
+  go 0 0 0
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let to_string a =
+  let o1, o2, o3, o4 = to_octets a in
+  Printf.sprintf "%d.%d.%d.%d" o1 o2 o3 o4
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+let compare = Int.compare
+let equal = Int.equal
+let hash a = a land max_int
+let succ a = if a >= mask32 then broadcast else a + 1
+let pred a = if a <= 0 then zero else a - 1
+
+let add a n =
+  let r = a + n in
+  if r < 0 then zero else if r > mask32 then broadcast else r
+
+let diff a b = a - b
+let bit a i = (a lsr (31 - i)) land 1 = 1
+
+let private_use a =
+  let o1, o2, _, _ = to_octets a in
+  o1 = 10 || (o1 = 172 && o2 >= 16 && o2 <= 31) || (o1 = 192 && o2 = 168)
+
+let reserved a =
+  let o1, o2, _, _ = to_octets a in
+  o1 = 0 || o1 = 127 || (o1 = 169 && o2 = 254) || o1 >= 224
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,53 @@
+(** IPv4 addresses represented as integers in [0, 2^32). *)
+
+type t = private int
+
+val zero : t
+val broadcast : t
+
+(** [of_int i] masks [i] to 32 bits. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+(** [of_octets a b c d] builds [a.b.c.d]; each octet is masked to 8 bits. *)
+val of_octets : int -> int -> int -> int -> t
+
+val to_octets : t -> int * int * int * int
+
+(** [of_string s] parses dotted-quad notation. *)
+val of_string : string -> t option
+
+val of_string_exn : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [succ a] is the next address; saturates at {!broadcast}. *)
+val succ : t -> t
+
+(** [pred a] is the previous address; saturates at {!zero}. *)
+val pred : t -> t
+
+(** [add a n] is [a + n], clamped to the address space. *)
+val add : t -> int -> t
+
+(** [diff a b] is [a - b] as an integer. *)
+val diff : t -> t -> int
+
+(** [bit a i] is bit [i] of [a], where bit 0 is the most significant bit
+    (network order), bit 31 the least significant. *)
+val bit : t -> int -> bool
+
+(** [private_use a] is true for RFC1918 space. *)
+val private_use : t -> bool
+
+(** [reserved a] is true for addresses unusable as unicast targets:
+    0.0.0.0/8, loopback, link-local, multicast and class E. *)
+val reserved : t -> bool
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

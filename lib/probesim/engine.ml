@@ -1,0 +1,239 @@
+open Netcore
+module Net = Topogen.Net
+module Gen = Topogen.Gen
+module Fwd = Routing.Forwarding
+
+type icmp_kind = Ttl_expired | Echo_reply | Dest_unreach
+type reply = { src : Ipv4.t; kind : icmp_kind; ipid : int; responder : int }
+type hop = { ttl : int; reply : reply option }
+
+type terminal = Delivered | Sunk | Dropped
+
+type fpath = { steps : Fwd.step array; term : terminal }
+
+type t = {
+  w : Gen.world;
+  fwd : Fwd.t;
+  ipid : Ipid.t;
+  pps : float;
+  rate_limit_p : float;
+  rng : Rng.t;
+  mutable clock : float;
+  mutable probes : int;
+  paths : (int * Ipv4.t * int, fpath) Hashtbl.t;
+}
+
+let create ?(pps = 100.0) ?(rate_limit_p = 0.0) w fwd =
+  { w; fwd; ipid = Ipid.create ~seed:w.Gen.params.Gen.seed; pps; rate_limit_p;
+    rng = Rng.create (w.Gen.params.Gen.seed lxor 0x7e57); clock = 0.0; probes = 0;
+    paths = Hashtbl.create 4096 }
+
+let world t = t.w
+let now t = t.clock
+let advance t dt = t.clock <- t.clock +. dt
+let pps t = t.pps
+let probe_count t = t.probes
+
+let tick t =
+  t.probes <- t.probes + 1;
+  t.clock <- t.clock +. (1.0 /. t.pps)
+
+let filter_of t asn = (Net.as_node t.w.Gen.net asn).Net.filter
+
+(* Truncate the forward path at the border of the first AS that filters
+   probes at its edge: the border router itself still appears (it is the
+   last hop traceroute can elicit), everything beyond is dropped. *)
+let truncate_at_filters t src_rid steps =
+  let rec go prev_owner acc = function
+    | [] -> (List.rev acc, None)
+    | (s : Fwd.step) :: rest ->
+      let owner = (Net.router t.w.Gen.net s.Fwd.rid).Net.owner in
+      let crossing =
+        (not (Asn.equal owner prev_owner))
+        &&
+        match s.Fwd.in_link with
+        | Some l -> l.Net.kind <> Net.Internal
+        | None -> false
+      in
+      if crossing && filter_of t owner <> Net.Open then
+        (List.rev (s :: acc), Some owner)
+      else go owner (s :: acc) rest
+  in
+  let src_owner = (Net.router t.w.Gen.net src_rid).Net.owner in
+  go src_owner [] steps
+
+let fpath t ~src_rid ~dst ~flow =
+  let key = (src_rid, dst, flow) in
+  match Hashtbl.find_opt t.paths key with
+  | Some p -> p
+  | None ->
+    if Hashtbl.length t.paths > 60_000 then Hashtbl.reset t.paths;
+    let raw = Fwd.path ~flow t.fwd ~src_rid ~dst () in
+    let kept, filtered = truncate_at_filters t src_rid raw in
+    let term =
+      match filtered with
+      | Some _ -> (
+        (* The border may itself hold the probed address. *)
+        match kept with
+        | [] -> Dropped
+        | _ ->
+          let last = List.nth kept (List.length kept - 1) in
+          let r = Net.router t.w.Gen.net last.Fwd.rid in
+          if
+            List.exists (fun (i : Net.iface) -> Ipv4.equal i.Net.addr dst) r.Net.ifaces
+          then Delivered
+          else Dropped)
+      | None -> (
+        let last_rid =
+          match List.rev kept with
+          | [] -> src_rid
+          | s :: _ -> s.Fwd.rid
+        in
+        match Fwd.next_hop t.fwd ~rid:last_rid ~dst with
+        | Fwd.Deliver -> Delivered
+        | Fwd.Sink -> Sunk
+        | Fwd.Forward _ | Fwd.Unreachable -> Dropped)
+    in
+    let p = { steps = Array.of_list kept; term } in
+    Hashtbl.add t.paths key p;
+    p
+
+(* Source-address selection for TTL-expired and unreachable messages. *)
+let select_src t (r : Net.router) (in_link : Net.link option) ~dst ~reply_to =
+  let inbound () =
+    match in_link with
+    | Some l -> Some (if fst l.Net.a = r.Net.rid then snd l.Net.a else snd l.Net.b)
+    | None -> None
+  in
+  let iface_toward asn =
+    List.find_map
+      (fun (i : Net.iface) ->
+        let l = Net.link t.w.Gen.net i.Net.link in
+        if l.Net.kind = Net.Internal then None
+        else
+          let far_rid, _ = Net.peer_of t.w.Gen.net l r.Net.rid in
+          if Asn.equal (Net.router t.w.Gen.net far_rid).Net.owner asn then
+            Some i.Net.addr
+          else None)
+      r.Net.ifaces
+  in
+  match r.Net.behavior.ttl_src with
+  | Net.Inbound -> inbound ()
+  | Net.Toward_reply -> (
+    (* Default-exit behaviour: replies leave via the primary provider
+       link when this router hosts one; else via the route back to the
+       prober. *)
+    match Asn.Map.find_opt r.Net.owner t.w.Gen.primary_exit with
+    | Some exit_asn when iface_toward exit_asn <> None -> iface_toward exit_asn
+    | _ -> (
+      match Fwd.reply_iface t.fwd ~rid:r.Net.rid ~reply_to with
+      | Some a -> Some a
+      | None -> inbound ()))
+  | Net.Toward_dst -> (
+    match Fwd.forward_iface t.fwd ~rid:r.Net.rid ~dst with
+    | Some a -> Some a
+    | None -> inbound ())
+
+let make_reply t (r : Net.router) ~src ~kind =
+  { src; kind; ipid = Ipid.sample t.ipid r ~addr:src ~now:t.clock;
+    responder = r.Net.rid }
+
+let trace_probe ?(flow = 0) t ~vp ~dst ~ttl =
+  tick t;
+  let p = fpath t ~src_rid:vp.Gen.vp_rid ~dst ~flow in
+  let n = Array.length p.steps in
+  if ttl <= n then begin
+    let step = p.steps.(ttl - 1) in
+    let r = Net.router t.w.Gen.net step.Fwd.rid in
+    if ttl = n && p.term = Delivered then
+      (* The probe reached its destination interface: echo reply. *)
+      if r.Net.behavior.echo then Some (make_reply t r ~src:dst ~kind:Echo_reply)
+      else None
+    else if not r.Net.behavior.ttl_expired then None
+    else if t.rate_limit_p > 0.0 && Rng.bool t.rng ~p:t.rate_limit_p then None
+    else
+      match select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr with
+      | Some src -> Some (make_reply t r ~src ~kind:Ttl_expired)
+      | None -> None
+  end
+  else
+    (* Beyond the path: delivery, unreachable, or silence. *)
+    match p.term with
+    | Delivered ->
+      if n = 0 then None
+      else
+        let r = Net.router t.w.Gen.net p.steps.(n - 1).Fwd.rid in
+        if r.Net.behavior.echo then Some (make_reply t r ~src:dst ~kind:Echo_reply)
+        else None
+    | Sunk ->
+      if n = 0 then None
+      else
+        let step = p.steps.(n - 1) in
+        let r = Net.router t.w.Gen.net step.Fwd.rid in
+        if not r.Net.behavior.unreach then None
+        else (
+          match select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr with
+          | Some src -> Some (make_reply t r ~src ~kind:Dest_unreach)
+          | None -> None)
+    | Dropped -> None
+
+let traceroute ?(paris = true) t ~vp ~dst ?(max_ttl = 32) ?(gap_limit = 5) () =
+  let rec go ttl gaps acc =
+    if ttl > max_ttl || gaps >= gap_limit then List.rev acc
+    else
+      (* Paris keeps the flow identifier constant so every probe of one
+         trace follows one path; classic traceroute's varying ports make
+         each TTL a fresh flow, wobbling across load-balanced paths. *)
+      let flow = if paris then 0 else ttl in
+      let reply = trace_probe ~flow t ~vp ~dst ~ttl in
+      let acc = { ttl; reply } :: acc in
+      match reply with
+      | Some { kind = Echo_reply | Dest_unreach; _ } -> List.rev acc
+      | Some { kind = Ttl_expired; _ } -> go (ttl + 1) 0 acc
+      | None -> go (ttl + 1) (gaps + 1) acc
+  in
+  go 1 0 []
+
+(* Direct-probe reachability: routers inside filtered ASes are shielded;
+   border routers (those with an interdomain interface) remain exposed. *)
+let direct_target t dst =
+  match Net.owner_of_addr t.w.Gen.net dst with
+  | None -> None
+  | Some r -> (
+    let node = Net.as_node t.w.Gen.net r.Net.owner in
+    match node.Net.filter with
+    | Net.Silent -> None
+    | Net.Open -> Some r
+    | Net.Firewall | Net.Echo_only ->
+      let is_border =
+        List.exists
+          (fun (i : Net.iface) ->
+            (Net.link t.w.Gen.net i.Net.link).Net.kind <> Net.Internal)
+          r.Net.ifaces
+      in
+      if is_border then Some r else None)
+
+let ping t ~dst =
+  tick t;
+  match direct_target t dst with
+  | Some r when r.Net.behavior.echo -> Some (make_reply t r ~src:dst ~kind:Echo_reply)
+  | Some _ | None -> None
+
+let udp_probe t ~dst =
+  tick t;
+  match direct_target t dst with
+  | None -> None
+  | Some r -> (
+    match r.Net.behavior.udp with
+    | Net.No_udp -> None
+    | Net.Probed_addr -> Some (make_reply t r ~src:dst ~kind:Dest_unreach)
+    | Net.Canonical ->
+      let src =
+        match r.Net.canonical with
+        | Some c -> c
+        | None -> (
+          match r.Net.ifaces with
+          | i :: _ -> i.Net.addr
+          | [] -> dst)
+      in
+      Some (make_reply t r ~src ~kind:Dest_unreach))

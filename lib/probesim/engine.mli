@@ -1,0 +1,62 @@
+(** The probing surface of the simulated Internet. This is the only
+    interface the inference pipeline may use to interact with the world:
+    it issues the probe types scamper issues (Paris traceroute, ICMP
+    echo, UDP to unused ports) and receives replies shaped by the
+    response pathologies of §4:
+
+    - TTL-expired source selection: inbound interface (common),
+      transmit-interface toward the reply destination (third-party
+      addresses), or the would-be forwarding interface (virtual routers);
+    - echo replies always sourced from the probed address;
+    - firewalled edges: the neighbor's border router answers but probes
+      never travel deeper (§5.4.2);
+    - echo-only edges: no TTL-expired at all, but echo/unreachable
+      replies from the border (§5.4.8 step 8.2);
+    - fully silent networks (§5.4.8 step 8.1);
+    - per-router IP-ID behaviour for alias resolution.
+
+    A simulated clock advances by [1/pps] per probe; drivers can also
+    advance it explicitly (Ally repeats its trials at 5-minute spacing). *)
+
+open Netcore
+module Net = Topogen.Net
+module Gen = Topogen.Gen
+
+type t
+
+val create : ?pps:float -> ?rate_limit_p:float -> Gen.world -> Routing.Forwarding.t -> t
+
+val world : t -> Gen.world
+val now : t -> float
+val advance : t -> float -> unit
+val probe_count : t -> int
+val pps : t -> float
+
+type icmp_kind = Ttl_expired | Echo_reply | Dest_unreach
+
+type reply = { src : Ipv4.t; kind : icmp_kind; ipid : int; responder : int }
+(** [responder] is the true router id — ground truth carried for
+    validation and debugging only; inference code must not read it. *)
+
+(** [trace_probe ?flow t ~vp ~dst ~ttl] sends one traceroute probe.
+    [flow] is the five-tuple stand-in hashed by ECMP (default 0 = the
+    Paris-traceroute fixed flow). *)
+val trace_probe : ?flow:int -> t -> vp:Gen.vp -> dst:Ipv4.t -> ttl:int -> reply option
+
+type hop = { ttl : int; reply : reply option }
+
+(** [traceroute ?paris t ~vp ~dst ()] probes ttl 1.. with a gap limit:
+    the trace stops after [gap_limit] consecutive unresponsive hops
+    (default 5) or when an echo/unreachable reply arrives, mirroring
+    scamper. [paris] (default true) keeps the flow identifier constant;
+    [false] models classic traceroute, whose per-probe flows wobble
+    across load-balanced equal-cost paths [Augustin et al. 2006]. *)
+val traceroute :
+  ?paris:bool ->
+  t -> vp:Gen.vp -> dst:Ipv4.t -> ?max_ttl:int -> ?gap_limit:int -> unit -> hop list
+
+(** [ping t ~dst] sends an ICMP echo to [dst] directly. *)
+val ping : t -> dst:Ipv4.t -> reply option
+
+(** [udp_probe t ~dst] sends a UDP probe to an unused port (Mercator). *)
+val udp_probe : t -> dst:Ipv4.t -> reply option

@@ -1,0 +1,57 @@
+open Netcore
+module Net = Topogen.Net
+
+type counter = { base : int; rate : float; mutable sent : int }
+
+type t = {
+  seed : int;
+  shared : (int, counter) Hashtbl.t;  (* router id *)
+  per_iface : (int * Ipv4.t, counter) Hashtbl.t;
+  rng : Rng.t;
+}
+
+let create ~seed =
+  { seed; shared = Hashtbl.create 256; per_iface = Hashtbl.create 256;
+    rng = Rng.create (seed lxor 0x1b9d) }
+
+(* Deterministic per-key parameters so repeated runs agree. A sizeable
+   share of routers rebooted recently, so their counters cluster near
+   zero: two such counters advance close together for a while, which is
+   what makes single-trial ID comparisons false-positive and why bdrmap
+   repeats Ally at five-minute spacing (5.3). *)
+let fresh_counter seed key =
+  let r = Rng.create (seed lxor (key * 2654435761)) in
+  if Rng.bool r ~p:0.35 then
+    (* Recently rebooted, lightly loaded: counter still near zero. *)
+    { base = Rng.int r 1500; rate = 0.3 +. Rng.float r *. 2.0; sent = 0 }
+  else { base = Rng.int r 65536; rate = 2.0 +. Rng.float r *. 300.0; sent = 0 }
+
+let counter_for t router ~addr =
+  match router.Net.behavior.ipid with
+  | Net.Shared_counter -> (
+    match Hashtbl.find_opt t.shared router.Net.rid with
+    | Some c -> Some c
+    | None ->
+      let c = fresh_counter t.seed router.Net.rid in
+      Hashtbl.add t.shared router.Net.rid c;
+      Some c)
+  | Net.Per_iface -> (
+    let key = (router.Net.rid, addr) in
+    match Hashtbl.find_opt t.per_iface key with
+    | Some c -> Some c
+    | None ->
+      let c = fresh_counter t.seed (router.Net.rid lxor (Ipv4.to_int addr * 31)) in
+      Hashtbl.add t.per_iface key c;
+      Some c)
+  | Net.Random_id | Net.Zero_id -> None
+
+let sample t router ~addr ~now =
+  match router.Net.behavior.ipid with
+  | Net.Random_id -> Rng.int t.rng 65536
+  | Net.Zero_id -> 0
+  | Net.Shared_counter | Net.Per_iface -> (
+    match counter_for t router ~addr with
+    | None -> 0
+    | Some c ->
+      c.sent <- c.sent + 1;
+      (c.base + c.sent + int_of_float (c.rate *. now)) land 0xFFFF)

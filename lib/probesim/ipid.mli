@@ -1,0 +1,19 @@
+(** IP-ID assignment state for the simulated routers. A router with a
+    shared central counter stamps every reply from one sequence that also
+    advances with background traffic; this is the signal Ally [40] and
+    MIDAR [21] exploit, and the per-interface/random/zero modes are the
+    cases that defeat them (§5.3). *)
+
+open Netcore
+module Net = Topogen.Net
+
+type t
+
+(** [create ~seed] initializes counter state; base values and background
+    rates are drawn deterministically per router. *)
+val create : seed:int -> t
+
+(** [sample t router ~addr ~now] is the IP-ID the router places in a
+    reply sent from [addr] at simulated time [now], advancing the
+    counter by one for the reply itself. Values are in [0, 65536). *)
+val sample : t -> Net.router -> addr:Ipv4.t -> now:float -> int

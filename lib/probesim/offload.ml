@@ -1,0 +1,110 @@
+open Netcore
+module Gen = Topogen.Gen
+
+type request =
+  | Trace of { flow : int; dst : Ipv4.t; ttl : int }
+  | Ping of Ipv4.t
+  | Udp of Ipv4.t
+  | Advance of float
+
+let request_to_line = function
+  | Trace { flow; dst; ttl } ->
+    Printf.sprintf "T|%d|%s|%d" flow (Ipv4.to_string dst) ttl
+  | Ping dst -> Printf.sprintf "P|%s" (Ipv4.to_string dst)
+  | Udp dst -> Printf.sprintf "U|%s" (Ipv4.to_string dst)
+  | Advance s -> Printf.sprintf "A|%.3f" s
+
+let request_of_line line =
+  match String.split_on_char '|' line with
+  | [ "T"; flow; dst; ttl ] -> (
+    match (int_of_string_opt flow, Ipv4.of_string dst, int_of_string_opt ttl) with
+    | Some flow, Some dst, Some ttl -> Ok (Trace { flow; dst; ttl })
+    | _ -> Error (Printf.sprintf "bad trace request %S" line))
+  | [ "P"; dst ] -> (
+    match Ipv4.of_string dst with
+    | Some dst -> Ok (Ping dst)
+    | None -> Error (Printf.sprintf "bad ping request %S" line))
+  | [ "U"; dst ] -> (
+    match Ipv4.of_string dst with
+    | Some dst -> Ok (Udp dst)
+    | None -> Error (Printf.sprintf "bad udp request %S" line))
+  | [ "A"; s ] -> (
+    match float_of_string_opt s with
+    | Some s -> Ok (Advance s)
+    | None -> Error (Printf.sprintf "bad advance request %S" line))
+  | _ -> Error (Printf.sprintf "bad request %S" line)
+
+let kind_to_string = function
+  | Engine.Ttl_expired -> "ttl"
+  | Engine.Echo_reply -> "echo"
+  | Engine.Dest_unreach -> "unreach"
+
+let kind_of_string = function
+  | "ttl" -> Some Engine.Ttl_expired
+  | "echo" -> Some Engine.Echo_reply
+  | "unreach" -> Some Engine.Dest_unreach
+  | _ -> None
+
+let response_to_line = function
+  | None -> "N"
+  | Some (r : Engine.reply) ->
+    Printf.sprintf "R|%s|%s|%d" (Ipv4.to_string r.Engine.src)
+      (kind_to_string r.Engine.kind) r.Engine.ipid
+
+let response_of_line line =
+  match String.split_on_char '|' line with
+  | [ "N" ] -> Ok None
+  | [ "R"; src; kind; ipid ] -> (
+    match (Ipv4.of_string src, kind_of_string kind, int_of_string_opt ipid) with
+    | Some src, Some kind, Some ipid ->
+      (* The responder's identity stays on the device side: the wire
+         format carries only what a real ICMP reply would. *)
+      Ok (Some { Engine.src; kind; ipid; responder = -1 })
+    | _ -> Error (Printf.sprintf "bad response %S" line))
+  | _ -> Error (Printf.sprintf "bad response %S" line)
+
+module Channel = struct
+  type t = {
+    mutable to_device : int;
+    mutable to_controller : int;
+    mutable msgs : int;
+  }
+
+  let create () = { to_device = 0; to_controller = 0; msgs = 0 }
+  let bytes_to_device t = t.to_device
+  let bytes_to_controller t = t.to_controller
+  let messages t = t.msgs
+
+  let note t req resp =
+    t.to_device <- t.to_device + String.length req + 1;
+    t.to_controller <- t.to_controller + String.length resp + 1;
+    t.msgs <- t.msgs + 1
+end
+
+let serve engine ~vp request_line =
+  match request_of_line request_line with
+  | Error e -> "E|" ^ e
+  | Ok (Trace { flow; dst; ttl }) ->
+    response_to_line (Engine.trace_probe ~flow engine ~vp ~dst ~ttl)
+  | Ok (Ping dst) -> response_to_line (Engine.ping engine ~dst)
+  | Ok (Udp dst) -> response_to_line (Engine.udp_probe engine ~dst)
+  | Ok (Advance s) ->
+    Engine.advance engine s;
+    "N"
+
+let remote channel engine ~vp =
+  let round req =
+    let line = request_to_line req in
+    let resp = serve engine ~vp line in
+    Channel.note channel line resp;
+    match response_of_line resp with
+    | Ok r -> r
+    | Error e -> invalid_arg ("Offload.remote: " ^ e)
+  in
+  { Prober.trace_probe =
+      (fun ~flow ~dst ~ttl -> round (Trace { flow; dst; ttl }));
+    ping = (fun ~dst -> round (Ping dst));
+    udp_probe = (fun ~dst -> round (Udp dst));
+    advance = (fun s -> ignore (round (Advance s)));
+    probe_count = (fun () -> Engine.probe_count engine);
+    pps = Engine.pps engine }

@@ -1,0 +1,19 @@
+open Netcore
+module Gen = Topogen.Gen
+
+type t = {
+  trace_probe : flow:int -> dst:Ipv4.t -> ttl:int -> Engine.reply option;
+  ping : dst:Ipv4.t -> Engine.reply option;
+  udp_probe : dst:Ipv4.t -> Engine.reply option;
+  advance : float -> unit;
+  probe_count : unit -> int;
+  pps : float;
+}
+
+let local engine ~vp =
+  { trace_probe = (fun ~flow ~dst ~ttl -> Engine.trace_probe ~flow engine ~vp ~dst ~ttl);
+    ping = (fun ~dst -> Engine.ping engine ~dst);
+    udp_probe = (fun ~dst -> Engine.udp_probe engine ~dst);
+    advance = Engine.advance engine;
+    probe_count = (fun () -> Engine.probe_count engine);
+    pps = Engine.pps engine }

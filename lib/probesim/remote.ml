@@ -1,0 +1,49 @@
+type deployment = Standalone | Split
+
+type footprint = { device_bytes : int; controller_bytes : int }
+
+type inputs = {
+  routed_prefixes : int;
+  as_rel_edges : int;
+  target_blocks : int;
+  stopset_entries : int;
+  alias_pairs : int;
+  trace_hops : int;
+}
+
+(* Cost constants (bytes per entry), calibrated against the in-memory
+   representations used by this implementation: a trie node per routed
+   prefix with origin set, relationship edges in adjacency sets, hop
+   records with address + metadata, alias pair state with IP-ID
+   samples. *)
+let b_prefix = 160
+let b_edge = 48
+let b_block = 64
+let b_stop = 24
+let b_pair = 96
+let b_hop = 56
+
+(* A prober needs only a socket buffer, the in-flight probe window and
+   the callback queue: a small constant plus the current block. *)
+let prober_fixed = 2_500_000
+let controller_fixed = 4_000_000
+
+let total i =
+  (i.routed_prefixes * b_prefix) + (i.as_rel_edges * b_edge)
+  + (i.target_blocks * b_block) + (i.stopset_entries * b_stop)
+  + (i.alias_pairs * b_pair) + (i.trace_hops * b_hop)
+
+let footprint d i =
+  match d with
+  | Standalone ->
+    { device_bytes = controller_fixed + total i; controller_bytes = 0 }
+  | Split ->
+    { device_bytes = prober_fixed; controller_bytes = controller_fixed + total i }
+
+let fits ~ram_bytes fp = fp.device_bytes <= ram_bytes
+let whitebox_ram = 32 * 1024 * 1024
+
+let pp ppf fp =
+  Format.fprintf ppf "device=%.1fMB controller=%.1fMB"
+    (float_of_int fp.device_bytes /. 1e6)
+    (float_of_int fp.controller_bytes /. 1e6)

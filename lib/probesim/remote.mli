@@ -1,0 +1,36 @@
+(** Resource model for deployment on low-resource devices (§5.8).
+
+    bdrmap needs the IP-to-AS mapping, per-AS stop sets, and alias state:
+    roughly 150 MB of RAM, far beyond a SamKnows/RIPE-Atlas class device
+    (32 MB total). The paper's answer is a split deployment: the device
+    runs only the prober (scamper) and streams raw measurements to a
+    central controller holding all state. This module accounts for the
+    state bytes held on each side under both deployments, using the same
+    cost constants for both so the ratio is meaningful. *)
+
+type deployment = Standalone | Split
+
+type footprint = {
+  device_bytes : int;  (** state resident on the measurement device *)
+  controller_bytes : int;  (** state resident centrally *)
+}
+
+(** Sizing inputs, taken from the actual artifacts of a run. *)
+type inputs = {
+  routed_prefixes : int;  (** entries in the IP-AS trie *)
+  as_rel_edges : int;
+  target_blocks : int;
+  stopset_entries : int;
+  alias_pairs : int;  (** candidate pairs tracked during resolution *)
+  trace_hops : int;  (** collected hop records *)
+}
+
+val footprint : deployment -> inputs -> footprint
+
+(** [fits ~ram_bytes fp] is true when the device-side state fits. *)
+val fits : ram_bytes:int -> footprint -> bool
+
+(** 32 MB, the RIPE Atlas / SamKnows Whitebox class of device. *)
+val whitebox_ram : int
+
+val pp : Format.formatter -> footprint -> unit

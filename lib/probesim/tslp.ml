@@ -1,0 +1,97 @@
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+module Fwd = Routing.Forwarding
+
+type episode = { peak_start_s : float; peak_end_s : float; extra_ms : float }
+
+type t = {
+  engine : Engine.t;
+  fwd : Fwd.t;
+  episodes : (int, episode) Hashtbl.t;
+}
+
+let create engine fwd = { engine; fwd; episodes = Hashtbl.create 16 }
+
+let congest t ~lid ~peak_start_s ~peak_end_s ~extra_ms =
+  Hashtbl.replace t.episodes lid { peak_start_s; peak_end_s; extra_ms }
+
+let day_s = 86_400.0
+
+let episode_active ep now =
+  let tod = Float.rem now day_s in
+  tod >= ep.peak_start_s && tod < ep.peak_end_s
+
+(* Propagation: IGP weight approximates distance; 1 weight unit ~ 1 ms
+   round trip, plus a small per-hop forwarding cost. *)
+let base_rtt steps =
+  List.fold_left
+    (fun acc (s : Fwd.step) ->
+      let w =
+        match s.Fwd.in_link with
+        | Some l -> l.Net.weight
+        | None -> 0.0
+      in
+      acc +. w +. 0.05)
+    0.0 steps
+
+let queueing t now steps =
+  List.fold_left
+    (fun acc (s : Fwd.step) ->
+      match s.Fwd.in_link with
+      | Some l when l.Net.kind <> Net.Internal -> (
+        match Hashtbl.find_opt t.episodes l.Net.lid with
+        | Some ep when episode_active ep now -> acc +. ep.extra_ms
+        | _ -> acc)
+      | _ -> acc)
+    0.0 steps
+
+let rtt t ~vp ~dst =
+  let w = Engine.world t.engine in
+  match Engine.ping t.engine ~dst with
+  | None -> (
+    (* Interfaces that do not answer direct probes may still answer
+       TTL-limited probes when they respond to traceroute; model the
+       reply gate with one probe at high TTL. *)
+    ignore w;
+    None)
+  | Some _ ->
+    let steps = Fwd.path t.fwd ~src_rid:vp.Gen.vp_rid ~dst () in
+    let now = Engine.now t.engine in
+    Some (base_rtt steps +. queueing t now steps)
+
+type sample = { at_s : float; near_ms : float option; far_ms : float option }
+
+let monitor t ~vp ~near ~far ~interval_s ~samples =
+  List.init samples (fun _ ->
+      let at_s = Engine.now t.engine in
+      let near_ms = rtt t ~vp ~dst:near in
+      let far_ms = rtt t ~vp ~dst:far in
+      Engine.advance t.engine interval_s;
+      { at_s; near_ms; far_ms })
+
+let diagnose samples =
+  let diffs =
+    List.filter_map
+      (fun s ->
+        match (s.near_ms, s.far_ms) with
+        | Some n, Some f -> Some (f -. n)
+        | _ -> None)
+      samples
+  in
+  if List.length diffs < 8 then None
+  else
+    let sorted = List.sort Float.compare diffs in
+    let nth q =
+      List.nth sorted
+        (min (List.length sorted - 1)
+           (int_of_float (q *. float_of_int (List.length sorted))))
+    in
+    let baseline = nth 0.25 in
+    let elevated = nth 0.9 in
+    (* A sustained level shift: the top decile sits well above the
+       baseline, and enough samples share the elevation. *)
+    let shift = elevated -. baseline in
+    let n_elevated =
+      List.length (List.filter (fun d -> d > baseline +. (shift /. 2.0)) diffs)
+    in
+    if shift > 5.0 && n_elevated * 6 >= List.length diffs then Some shift else None

@@ -1,0 +1,49 @@
+(** Time-series latency probing (TSLP) over the simulated topology: the
+    measurement technique of the interdomain congestion project that
+    motivates bdrmap (§2, [Luckie et al., IMC 2014]). Probing the near
+    and far side of an inferred interdomain link at intervals reveals
+    congestion as a recurring (diurnal) elevation of the far-side RTT
+    that the near-side does not share.
+
+    The latency model: propagation delay accumulated from IGP link
+    weights, plus queueing delay on interdomain links carrying a
+    congestion episode while the episode is active (the simulated clock
+    advances as the engine probes). *)
+
+
+open Netcore
+module Gen = Topogen.Gen
+
+type t
+
+val create : Engine.t -> Routing.Forwarding.t -> t
+
+(** [congest t ~lid ~peak_start_s ~peak_end_s ~extra_ms] installs a daily
+    congestion episode on interdomain link [lid]: between the two
+    day-offsets (seconds into each simulated day), crossing the link
+    costs [extra_ms] extra. *)
+val congest :
+  t -> lid:int -> peak_start_s:float -> peak_end_s:float -> extra_ms:float -> unit
+
+(** [rtt t ~vp ~dst] is the round-trip time in milliseconds at the
+    current simulated clock, or [None] when [dst] elicits no reply. *)
+val rtt : t -> vp:Gen.vp -> dst:Ipv4.t -> float option
+
+type sample = { at_s : float; near_ms : float option; far_ms : float option }
+
+(** [monitor t ~vp ~near ~far ~interval_s ~samples] probes both sides of
+    a border [samples] times, [interval_s] apart, advancing the clock. *)
+val monitor :
+  t ->
+  vp:Gen.vp ->
+  near:Ipv4.t ->
+  far:Ipv4.t ->
+  interval_s:float ->
+  samples:int ->
+  sample list
+
+(** [diagnose samples] detects a congestion signature: the far-minus-near
+    RTT difference shows a sustained elevated period against its own
+    baseline (level-shift test, as in the IMC 2014 methodology).
+    Returns the elevation in ms when detected. *)
+val diagnose : sample list -> float option

@@ -1,0 +1,244 @@
+open Netcore
+module Net = Topogen.Net
+module B = Bgpdata
+
+type route_class = Cust | Peer | Prov
+
+type route = {
+  cls : route_class;
+  dist : int;
+  nexthops : Asn.Set.t;
+  parent : Asn.t option;
+}
+
+type t = {
+  net : Net.t;
+  rels : B.As_rel.t;
+  origin_trie : Asn.Set.t Ptrie.t;
+  originated : (Prefix.t * Asn.Set.t) list;
+  selective : int list Prefix.Map.t Asn.Map.t;
+  cache : (Prefix.t, route Asn.Tbl.t) Hashtbl.t;
+  mutable cache_hits : int;
+}
+
+let cache_limit = 192
+
+let create net rels ~originated ~selective =
+  let origin_trie =
+    List.fold_left
+      (fun trie (p, asns) ->
+        Ptrie.update p
+          (function
+            | None -> Some asns
+            | Some prev -> Some (Asn.Set.union prev asns))
+          trie)
+      Ptrie.empty originated
+  in
+  { net; rels; origin_trie; originated; selective;
+    cache = Hashtbl.create 256; cache_hits = 0 }
+
+let prefixes t = List.sort_uniq Prefix.compare (List.map fst t.originated)
+
+let origins t p =
+  Option.value ~default:Asn.Set.empty (Ptrie.find_exact p t.origin_trie)
+
+let is_origin t asn p = Asn.Set.mem asn (origins t p)
+
+let allowed_links t ~origin ~p =
+  match Asn.Map.find_opt origin t.selective with
+  | None -> None
+  | Some per_prefix -> Prefix.Map.find_opt p per_prefix
+
+(* Propagation for one prefix. Three stages:
+   1. "up": customer routes climb c2p edges from the origins;
+   2. "peer": one peer edge on top of an up route;
+   3. "down": best routes descend p2c edges (Dijkstra over hop counts,
+      since a provider route can feed another provider route). *)
+let compute t p =
+  let os = origins t p in
+  let up : int Asn.Tbl.t = Asn.Tbl.create 256 in
+  (* Stage 1: BFS in hop order. *)
+  let q = Queue.create () in
+  Asn.Set.iter
+    (fun o ->
+      Asn.Tbl.replace up o 0;
+      Queue.add o q)
+    os;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    let d = Asn.Tbl.find up x in
+    Asn.Set.iter
+      (fun prov ->
+        if not (Asn.Tbl.mem up prov) then begin
+          Asn.Tbl.replace up prov (d + 1);
+          Queue.add prov q
+        end)
+      (B.As_rel.providers t.rels x)
+  done;
+  (* Stage 2: peer routes. *)
+  let peer : int Asn.Tbl.t = Asn.Tbl.create 256 in
+  Asn.Tbl.iter
+    (fun x d ->
+      Asn.Set.iter
+        (fun y ->
+          if not (Asn.Set.mem y os) then
+            match Asn.Tbl.find_opt peer y with
+            | Some d' when d' <= d + 1 -> ()
+            | _ -> Asn.Tbl.replace peer y (d + 1))
+        (B.As_rel.peers t.rels x))
+    up;
+  (* Stage 3: provider routes via Dijkstra (bucket queue on dist). *)
+  let best_non_prov x =
+    match (Asn.Tbl.find_opt up x, Asn.Tbl.find_opt peer x) with
+    | Some d, _ -> Some (Cust, d)
+    | None, Some d -> Some (Peer, d)
+    | None, None -> None
+  in
+  let prov : int Asn.Tbl.t = Asn.Tbl.create 256 in
+  let module Pq = Set.Make (struct
+    type t = int * Asn.t
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  let push d x = pq := Pq.add (d, x) !pq in
+  (* Seed: every AS holding a cust/peer route exports it to customers. *)
+  let seed x d =
+    Asn.Set.iter
+      (fun c ->
+        if best_non_prov c = None && not (Asn.Set.mem c os) then
+          match Asn.Tbl.find_opt prov c with
+          | Some d' when d' <= d + 1 -> ()
+          | _ ->
+            Asn.Tbl.replace prov c (d + 1);
+            push (d + 1) c)
+      (B.As_rel.customers t.rels x)
+  in
+  Asn.Tbl.iter seed up;
+  Asn.Tbl.iter (fun x d -> if Asn.Tbl.find_opt up x = None then seed x d) peer;
+  while not (Pq.is_empty !pq) do
+    let ((d, x) as e) = Pq.min_elt !pq in
+    pq := Pq.remove e !pq;
+    if Asn.Tbl.find_opt prov x = Some d then
+      Asn.Set.iter
+        (fun c ->
+          if best_non_prov c = None && not (Asn.Set.mem c os) then
+            match Asn.Tbl.find_opt prov c with
+            | Some d' when d' <= d + 1 -> ()
+            | _ ->
+              Asn.Tbl.replace prov c (d + 1);
+              push (d + 1) c)
+        (B.As_rel.customers t.rels x)
+  done;
+  (* Assemble per-AS best routes with the full next-hop set. *)
+  let table : route Asn.Tbl.t = Asn.Tbl.create 256 in
+  let consider x =
+    if Asn.Set.mem x os then ()
+    else
+      let best =
+        match (Asn.Tbl.find_opt up x, Asn.Tbl.find_opt peer x, Asn.Tbl.find_opt prov x) with
+        | Some d, _, _ -> Some (Cust, d)
+        | None, Some d, _ -> Some (Peer, d)
+        | None, None, Some d -> Some (Prov, d)
+        | None, None, None -> None
+      in
+      match best with
+      | None -> ()
+      | Some (cls, d) ->
+        let nexthops =
+          match cls with
+          | Cust ->
+            Asn.Set.filter
+              (fun c -> Asn.Tbl.find_opt up c = Some (d - 1))
+              (B.As_rel.customers t.rels x)
+          | Peer ->
+            Asn.Set.filter
+              (fun y -> Asn.Tbl.find_opt up y = Some (d - 1))
+              (B.As_rel.peers t.rels x)
+          | Prov ->
+            Asn.Set.filter
+              (fun pr ->
+                let bd =
+                  match
+                    ( Asn.Tbl.find_opt up pr,
+                      Asn.Tbl.find_opt peer pr,
+                      Asn.Tbl.find_opt prov pr )
+                  with
+                  | Some d', _, _ -> Some d'
+                  | None, Some d', _ -> Some d'
+                  | None, None, Some d' -> Some d'
+                  | None, None, None -> None
+                in
+                bd = Some (d - 1) || (d = 1 && Asn.Set.mem pr os))
+              (B.As_rel.providers t.rels x)
+        in
+        (* Direct neighbors of an origin also see the origin itself as a
+           next hop at dist 1. *)
+        let nexthops =
+          if d = 1 then
+            Asn.Set.union nexthops
+              (Asn.Set.filter
+                 (fun o ->
+                   B.As_rel.known t.rels x o
+                   &&
+                   match B.As_rel.rel t.rels ~of_:x ~with_:o with
+                   | Some B.As_rel.Customer -> cls = Cust
+                   | Some B.As_rel.Peer -> cls = Peer
+                   | Some B.As_rel.Provider -> cls = Prov
+                   | None -> false)
+                 os)
+          else nexthops
+        in
+        if not (Asn.Set.is_empty nexthops) then
+          Asn.Tbl.replace table x
+            { cls; dist = d; nexthops; parent = Asn.Set.min_elt_opt nexthops }
+  in
+  Asn.Set.iter consider (Net.asns t.net);
+  (* Relationship-only ASes (e.g. router-less siblings) still need rows. *)
+  Asn.Set.iter consider (B.As_rel.asns t.rels);
+  table
+
+let table_for t p =
+  match Hashtbl.find_opt t.cache p with
+  | Some tbl ->
+    t.cache_hits <- t.cache_hits + 1;
+    tbl
+  | None ->
+    if Hashtbl.length t.cache >= cache_limit then Hashtbl.reset t.cache;
+    let tbl = compute t p in
+    Hashtbl.add t.cache p tbl;
+    tbl
+
+let route t asn p = Asn.Tbl.find_opt (table_for t p) asn
+
+let lookup t asn addr =
+  match Ptrie.lpm addr t.origin_trie with
+  | None -> None
+  | Some (p, _) -> Some (p, route t asn p)
+
+let as_path t asn p =
+  if is_origin t asn p then Some [ asn ]
+  else
+    let rec follow x acc guard =
+      if guard > 64 then None
+      else if is_origin t x p then Some (List.rev (x :: acc))
+      else
+        match route t x p with
+        | None -> None
+        | Some r -> (
+          match r.parent with
+          | None -> Some (List.rev (x :: acc))
+          | Some y -> follow y (x :: acc) (guard + 1))
+    in
+    follow asn [] 0
+
+let collector_view t collectors =
+  List.fold_left
+    (fun rib p ->
+      List.fold_left
+        (fun rib c ->
+          match as_path t c p with
+          | Some path -> B.Rib.add_route rib p path
+          | None -> rib)
+        rib collectors)
+    B.Rib.empty (prefixes t)

@@ -1,0 +1,66 @@
+(** AS-level BGP route propagation under Gao-Rexford policies:
+    an AS exports customer routes (and its own prefixes) to everyone, and
+    peer/provider routes only to customers. Route selection prefers
+    customer over peer over provider routes, then shortest AS path, then
+    lowest next-hop ASN.
+
+    Per-link selective announcement (the Akamai-style policy of §6) is
+    honoured at the edge between the origin and its direct neighbors.
+
+    Computation is per-prefix and cached, since both the forwarding layer
+    and the collector-view builder access prefixes sequentially. *)
+
+open Netcore
+module Net = Topogen.Net
+
+type route_class = Cust | Peer | Prov
+
+type route = {
+  cls : route_class;
+  dist : int;  (** AS-path hops to the origin *)
+  nexthops : Asn.Set.t;  (** neighbor ASes offering the best (cls, dist) *)
+  parent : Asn.t option;  (** canonical next hop; [None] at the origin *)
+}
+
+type t
+
+(** [create net rels ~originated ~selective] prepares the propagation
+    state. [rels] must be the ground-truth relationship graph (real
+    routing does not run on inferred data). *)
+val create :
+  Net.t ->
+  Bgpdata.As_rel.t ->
+  originated:(Prefix.t * Asn.Set.t) list ->
+  selective:int list Prefix.Map.t Asn.Map.t ->
+  t
+
+(** [prefixes t] is every originated prefix, sorted. *)
+val prefixes : t -> Prefix.t list
+
+(** [origins t p] is the origin set of [p]. *)
+val origins : t -> Prefix.t -> Asn.Set.t
+
+(** [route t asn p] is [asn]'s best route toward [p]; [None] when
+    unreachable or [asn] originates [p] itself. *)
+val route : t -> Asn.t -> Prefix.t -> route option
+
+(** [is_origin t asn p] is true when [asn] originates [p]. *)
+val is_origin : t -> Asn.t -> Prefix.t -> bool
+
+(** [lookup t asn addr] resolves [addr] through longest-prefix match and
+    returns the matched prefix with the best route. *)
+val lookup : t -> Asn.t -> Ipv4.t -> (Prefix.t * route option) option
+
+(** [as_path t asn p] is the AS path [asn] would report toward [p]
+    (leftmost = [asn], rightmost = origin), or [None] if unreachable. *)
+val as_path : t -> Asn.t -> Prefix.t -> Asn.t list option
+
+(** [allowed_links t ~origin ~p] is the per-link pin set for [p] at its
+    origin: [None] means no restriction; [Some lids] means that among a
+    neighbor's links that intersect [lids], only those carry [p] (links
+    to neighbors outside the pin set are unrestricted). *)
+val allowed_links : t -> origin:Asn.t -> p:Prefix.t -> int list option
+
+(** [collector_view t collectors] builds the public RIB: one route line
+    per (collector AS, prefix) with the collector's AS path. *)
+val collector_view : t -> Asn.t list -> Bgpdata.Rib.t

@@ -1,0 +1,247 @@
+open Netcore
+module Net = Topogen.Net
+
+type t = {
+  net : Net.t;
+  bgp : Bgp.t;
+  (* Distances to a target router from every router of the same AS,
+     computed by Dijkstra from the target over internal links. *)
+  igp : (int, float array) Hashtbl.t;
+  (* (rid, prefix) -> chosen egress link id, or -1 for none. *)
+  egress_memo : (int * Prefix.t, int) Hashtbl.t;
+  (* (asn1, asn2) -> interdomain links between them. *)
+  mutable between : (Asn.t * Asn.t, Net.link list) Hashtbl.t option;
+}
+
+let create net bgp =
+  { net; bgp; igp = Hashtbl.create 512; egress_memo = Hashtbl.create 4096;
+    between = None }
+
+let links_between t x y =
+  let tbl =
+    match t.between with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 1024 in
+      List.iter
+        (fun (l : Net.link) ->
+          let oa = (Net.router t.net (fst l.Net.a)).Net.owner in
+          let ob = (Net.router t.net (fst l.Net.b)).Net.owner in
+          let key = if oa < ob then (oa, ob) else (ob, oa) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+          Hashtbl.replace tbl key (l :: cur))
+        (Net.interdomain_links t.net);
+      t.between <- Some tbl;
+      tbl
+  in
+  let key = if x < y then (x, y) else (y, x) in
+  Option.value ~default:[] (Hashtbl.find_opt tbl key)
+
+(* Dijkstra from [target] over internal links of its AS. *)
+let dist_to t target =
+  match Hashtbl.find_opt t.igp target with
+  | Some d -> d
+  | None ->
+    let n = Net.router_count t.net in
+    let dist = Array.make n infinity in
+    let module Pq = Set.Make (struct
+      type t = float * int
+
+      let compare = compare
+    end) in
+    let pq = ref (Pq.singleton (0.0, target)) in
+    dist.(target) <- 0.0;
+    while not (Pq.is_empty !pq) do
+      let ((d, x) as e) = Pq.min_elt !pq in
+      pq := Pq.remove e !pq;
+      if d <= dist.(x) then
+        List.iter
+          (fun ((l : Net.link), y) ->
+            let nd = d +. l.Net.weight in
+            if nd < dist.(y) then begin
+              dist.(y) <- nd;
+              pq := Pq.add (nd, y) !pq
+            end)
+          (Net.internal_neighbors t.net x)
+    done;
+    Hashtbl.replace t.igp target dist;
+    dist
+
+let igp_distance t ~from_rid ~to_rid =
+  let ra = Net.router t.net from_rid and rb = Net.router t.net to_rid in
+  if not (Asn.equal ra.Net.owner rb.Net.owner) then infinity
+  else (dist_to t to_rid).(from_rid)
+
+(* Next internal hop from [rid] toward [target]: among the neighbors
+   whose (link weight + distance) lies within the ECMP tolerance of the
+   minimum, hash the flow identifier the way routers hash five-tuples.
+   Flow 0 deterministically takes the canonical (lowest link id) path,
+   which is what Paris traceroute's fixed flow identifier guarantees;
+   classic traceroute varies the flow per probe and wobbles across
+   equal-cost paths. *)
+let ecmp_tolerance = 1.02
+
+let internal_next_hop ?(flow = 0) t rid target =
+  if rid = target then None
+  else begin
+    let dist = dist_to t target in
+    let candidates = ref [] in
+    let best = ref infinity in
+    List.iter
+      (fun ((l : Net.link), y) ->
+        if dist.(y) < infinity then begin
+          let d = l.Net.weight +. dist.(y) in
+          if d < !best then best := d;
+          candidates := (d, l) :: !candidates
+        end)
+      (Net.internal_neighbors t.net rid);
+    let eligible =
+      List.filter (fun (d, _) -> d <= !best *. ecmp_tolerance) !candidates
+      |> List.sort (fun (d1, (l1 : Net.link)) (d2, l2) ->
+             match Float.compare d1 d2 with
+             | 0 -> Int.compare l1.Net.lid l2.Net.lid
+             | c -> c)
+      |> List.map snd
+    in
+    match eligible with
+    | [] -> None
+    | [ l ] -> Some l
+    | ls ->
+      if flow = 0 then Some (List.hd ls)
+      else
+        let h = Hashtbl.hash (flow, rid, target) in
+        Some (List.nth ls (h mod List.length ls))
+  end
+
+(* Candidate egress links for [rid]'s AS toward prefix [p]: links to any
+   best next-hop AS, honouring per-link selective announcement when the
+   neighbor is the origin. *)
+let egress_candidates t asn p (route : Bgp.route) =
+  Asn.Set.fold
+    (fun n acc ->
+      let ls = links_between t asn n in
+      let ls =
+        if Bgp.is_origin t.bgp n p then
+          match Bgp.allowed_links t.bgp ~origin:n ~p with
+          | None -> ls
+          | Some lids -> (
+            match List.filter (fun (l : Net.link) -> List.mem l.Net.lid lids) ls with
+            | [] -> ls  (* no pinned link toward this neighbor: unrestricted *)
+            | pinned -> pinned)
+        else ls
+      in
+      List.rev_append ls acc)
+    route.Bgp.nexthops []
+
+let choose_egress t rid p (route : Bgp.route) =
+  match Hashtbl.find_opt t.egress_memo (rid, p) with
+  | Some (-1) -> None
+  | Some lid -> Some (Net.link t.net lid)
+  | None ->
+    let asn = (Net.router t.net rid).Net.owner in
+    let candidates = egress_candidates t asn p route in
+    let score (l : Net.link) =
+      let near =
+        let ra = fst l.Net.a in
+        if Asn.equal (Net.router t.net ra).Net.owner asn then ra else fst l.Net.b
+      in
+      (igp_distance t ~from_rid:rid ~to_rid:near, l.Net.lid)
+    in
+    let best =
+      List.fold_left
+        (fun acc l ->
+          let s = score l in
+          if fst s = infinity then acc
+          else
+            match acc with
+            | Some (s', _) when s' <= s -> acc
+            | _ -> Some (s, l))
+        None candidates
+    in
+    Hashtbl.replace t.egress_memo (rid, p)
+      (match best with
+      | Some (_, l) -> l.Net.lid
+      | None -> -1);
+    Option.map snd best
+
+type hop = Deliver | Sink | Forward of Net.link | Unreachable
+
+let local_iface r addr =
+  List.exists (fun (i : Net.iface) -> Ipv4.equal i.Net.addr addr) r.Net.ifaces
+  ||
+  match r.Net.canonical with
+  | Some c -> Ipv4.equal c addr
+  | None -> false
+
+let next_hop ?(flow = 0) t ~rid ~dst =
+  let r = Net.router t.net rid in
+  if local_iface r dst then Deliver
+  else
+    match Net.home_of t.net dst with
+    | Some home when Asn.equal home.Net.owner r.Net.owner ->
+      if home.Net.rid = rid then
+        (* Connected-subnet delivery: the address may live on the far
+           side of one of this router's links. *)
+        match
+          List.find_opt
+            (fun ((l : Net.link), _) ->
+              let far = if fst l.Net.a = rid then l.Net.b else l.Net.a in
+              Ipv4.equal (snd far) dst)
+            (Net.neighbors t.net rid)
+        with
+        | Some (l, _) -> Forward l
+        | None -> Sink
+      else (
+        match internal_next_hop ~flow t rid home.Net.rid with
+        | Some l -> Forward l
+        | None -> Unreachable)
+    | _ -> (
+      match Bgp.lookup t.bgp r.Net.owner dst with
+      | None | Some (_, None) -> Unreachable
+      | Some (p, Some route) -> (
+        match choose_egress t rid p route with
+        | None -> Unreachable
+        | Some l ->
+          let near =
+            let ra = fst l.Net.a in
+            if Asn.equal (Net.router t.net ra).Net.owner r.Net.owner then ra
+            else fst l.Net.b
+          in
+          if near = rid then Forward l
+          else (
+            match internal_next_hop ~flow t rid near with
+            | Some il -> Forward il
+            | None -> Unreachable)))
+
+let egress_link t ~rid ~dst =
+  let r = Net.router t.net rid in
+  match Net.home_of t.net dst with
+  | Some home when Asn.equal home.Net.owner r.Net.owner -> None
+  | _ -> (
+    match Bgp.lookup t.bgp r.Net.owner dst with
+    | None | Some (_, None) -> None
+    | Some (p, Some route) -> choose_egress t rid p route)
+
+type step = { rid : int; in_link : Net.link option }
+
+let path ?(flow = 0) t ~src_rid ~dst ?(max_hops = 64) () =
+  let rec walk rid hops acc =
+    if hops >= max_hops then List.rev acc
+    else
+      match next_hop ~flow t ~rid ~dst with
+      | Deliver | Sink | Unreachable -> List.rev acc
+      | Forward l ->
+        let next, _ = Net.peer_of t.net l rid in
+        walk next (hops + 1) ({ rid = next; in_link = Some l } :: acc)
+  in
+  walk src_rid 0 []
+
+let first_link_iface t ~rid ~dst =
+  match next_hop t ~rid ~dst with
+  | Forward l ->
+    let addr = if fst l.Net.a = rid then snd l.Net.a else snd l.Net.b in
+    Some addr
+  | Deliver | Sink | Unreachable -> None
+
+let reply_iface t ~rid ~reply_to = first_link_iface t ~rid ~dst:reply_to
+let forward_iface t ~rid ~dst = first_link_iface t ~rid ~dst

@@ -1,0 +1,61 @@
+(** Router-level forwarding over the simulated topology: intra-AS
+    shortest paths (IGP) plus hot-potato egress selection among the
+    BGP-equal next hops (§6: the mechanism behind Figures 14-16).
+
+    A packet at a router is delivered locally when its address matches a
+    local interface, forwarded internally toward the home router when the
+    current AS originates the longest-match prefix, and otherwise pushed
+    across the interdomain link that is IGP-nearest among the candidate
+    egresses for the destination prefix. *)
+
+open Netcore
+module Net = Topogen.Net
+
+type t
+
+val create : Net.t -> Bgp.t -> t
+
+type hop =
+  | Deliver  (** the destination address is on this router *)
+  | Sink  (** this router is the home of the prefix; no such host *)
+  | Forward of Net.link  (** next hop across this link *)
+  | Unreachable
+
+(** [next_hop ?flow t ~rid ~dst] is one forwarding decision. Equal-cost
+    internal paths are resolved by hashing [flow] (a five-tuple stand-in);
+    flow 0 always takes the canonical path, which models Paris
+    traceroute's fixed flow identifier. *)
+val next_hop : ?flow:int -> t -> rid:int -> dst:Ipv4.t -> hop
+
+(** [egress_link t ~rid ~dst] is the interdomain link this AS would use
+    to leave toward [dst], from the perspective of router [rid]
+    (hot-potato), if the route exits the AS. *)
+val egress_link : t -> rid:int -> dst:Ipv4.t -> Net.link option
+
+(** [igp_distance t ~from_rid ~to_rid] is the intra-AS IGP distance;
+    [infinity] when the routers are in different ASes or disconnected. *)
+val igp_distance : t -> from_rid:int -> to_rid:int -> float
+
+(** One step of a router path: the router and the link the packet
+    arrived on ([None] for the source router). *)
+type step = { rid : int; in_link : Net.link option }
+
+(** [path ?flow t ~src_rid ~dst ?max_hops ()] walks the full router path,
+    starting with the first router after the source. The walk stops at
+    delivery, at the prefix's home router, at an unreachable point, or
+    after [max_hops] (default 64). [flow] selects among equal-cost
+    internal paths. *)
+val path :
+  ?flow:int -> t -> src_rid:int -> dst:Ipv4.t -> ?max_hops:int -> unit -> step list
+
+(** [reply_iface t ~rid ~reply_to] is the interface address router [rid]
+    would use as source when transmitting a packet toward [reply_to]
+    (RFC 1812 behaviour, §4 challenge 2): the address of its interface on
+    the first link of the path toward [reply_to]. [None] when the router
+    cannot route back or the first hop is ambiguous. *)
+val reply_iface : t -> rid:int -> reply_to:Ipv4.t -> Ipv4.t option
+
+(** [forward_iface t ~rid ~dst] is the interface address router [rid]
+    would forward [dst]-bound packets from (virtual-router reply
+    selection, §4 challenge 4). *)
+val forward_iface : t -> rid:int -> dst:Ipv4.t -> Ipv4.t option

@@ -1,0 +1,54 @@
+open Netcore
+
+type t = { mutable next : int }
+
+let create () = { next = Ipv4.to_int (Ipv4.of_octets 1 0 0 0) }
+
+let skip_bad t size =
+  (* Keep allocations inside public unicast space. *)
+  let rec go () =
+    let a = Ipv4.of_int t.next in
+    if Ipv4.reserved a || Ipv4.private_use a then (
+      (* Jump to the next /8 boundary. *)
+      t.next <- (t.next lor 0xFFFFFF) + 1;
+      go ())
+    else if t.next + size - 1 > 0xDFFFFFFF then failwith "Addressing: space exhausted"
+    else ()
+  in
+  go ()
+
+let alloc_block t len =
+  if len < 2 || len > 32 then invalid_arg "Addressing.alloc_block: bad len";
+  let size = 1 lsl (32 - len) in
+  (* Align to block size. *)
+  t.next <- (t.next + size - 1) land lnot (size - 1);
+  skip_bad t size;
+  t.next <- (t.next + size - 1) land lnot (size - 1);
+  let p = Prefix.make (Ipv4.of_int t.next) len in
+  t.next <- t.next + size;
+  p
+
+type pool = { block : Prefix.t; mutable cursor : int }
+
+let pool_of block = { block; cursor = Ipv4.to_int (Prefix.first block) }
+let pool_block p = p.block
+
+let alloc_subnet pool len =
+  if len < 24 || len > 32 then invalid_arg "Addressing.alloc_subnet: bad len";
+  let size = 1 lsl (32 - len) in
+  let start = (pool.cursor + size - 1) land lnot (size - 1) in
+  if start + size - 1 > Ipv4.to_int (Prefix.last pool.block) then
+    failwith
+      (Printf.sprintf "Addressing: pool %s exhausted" (Prefix.to_string pool.block));
+  pool.cursor <- start + size;
+  Prefix.make (Ipv4.of_int start) len
+
+let alloc_addr pool = Prefix.first (alloc_subnet pool 32)
+
+let p2p_addrs subnet =
+  match Prefix.len subnet with
+  | 31 -> (Prefix.first subnet, Prefix.last subnet)
+  | 30 ->
+    let base = Ipv4.to_int (Prefix.first subnet) in
+    (Ipv4.of_int (base + 1), Ipv4.of_int (base + 2))
+  | _ -> invalid_arg "Addressing.p2p_addrs: expected /30 or /31"

@@ -1,0 +1,81 @@
+open Netcore
+
+type t = { names : string Ipv4.Tbl.t }
+
+let code_table =
+  [ ("Seattle", "sea"); ("Portland", "pdx"); ("San Jose", "sjc");
+    ("Los Angeles", "lax"); ("Phoenix", "phx"); ("Salt Lake City", "slc");
+    ("Denver", "den"); ("Dallas", "dal"); ("Houston", "hou");
+    ("Kansas City", "mci"); ("Minneapolis", "msp"); ("Chicago", "chi");
+    ("St. Louis", "stl"); ("Nashville", "bna"); ("Atlanta", "atl");
+    ("Miami", "mia"); ("Charlotte", "clt"); ("Ashburn", "iad");
+    ("Philadelphia", "phl"); ("New York", "nyc"); ("Boston", "bos") ]
+
+let city_code (c : Geo.city) =
+  match List.assoc_opt c.Geo.name code_table with
+  | Some code -> code
+  | None ->
+    let s =
+      String.lowercase_ascii
+        (String.concat "" (String.split_on_char ' ' c.Geo.name))
+    in
+    if String.length s >= 3 then String.sub s 0 3 else s
+
+let city_of_code code =
+  List.find_map
+    (fun (name, c) -> if String.equal c code then Geo.city_named name else None)
+    code_table
+
+let build ?(named_fraction = 0.85) ?(mislabel_fraction = 0.03) net ~seed =
+  let rng = Rng.create (seed lxor 0x0d45) in
+  let names = Ipv4.Tbl.create 1024 in
+  List.iter
+    (fun (l : Net.link) ->
+      List.iter
+        (fun (rid, addr) ->
+          if not (Ipv4.Tbl.mem names addr) && Rng.bool rng ~p:named_fraction then begin
+            let r = Net.router net rid in
+            let city =
+              if Rng.bool rng ~p:mislabel_fraction then
+                Rng.pick_array rng Geo.us_cities
+              else r.Net.city
+            in
+            let role =
+              match l.Net.kind with
+              | Net.Internal -> "ae"
+              | Net.Private_interconnect _ -> "xe"
+              | Net.Ixp_lan _ -> "ix"
+            in
+            let name =
+              Printf.sprintf "%s-%d.cr%02d.%s%02d.as%d.sim.net" role
+                (l.Net.lid mod 64) (rid mod 100) (city_code city) (rid mod 10)
+                r.Net.owner
+            in
+            Ipv4.Tbl.replace names addr name
+          end)
+        [ l.Net.a; l.Net.b ])
+    (Net.links net);
+  { names }
+
+let lookup t addr = Ipv4.Tbl.find_opt t.names addr
+let cardinal t = Ipv4.Tbl.length t.names
+
+let parse_city name =
+  (* role-N.crNN.<code>NN.asN... : the third label carries the metro. *)
+  match String.split_on_char '.' name with
+  | _ :: _ :: metro :: _ ->
+    let code =
+      String.to_seq metro
+      |> Seq.filter (fun c -> not (c >= '0' && c <= '9'))
+      |> String.of_seq
+    in
+    city_of_code code
+  | _ -> None
+
+let parse_asn name =
+  List.find_map
+    (fun label ->
+      if String.length label > 2 && String.sub label 0 2 = "as" then
+        int_of_string_opt (String.sub label 2 (String.length label - 2))
+      else None)
+    (String.split_on_char '.' name)

@@ -1,0 +1,34 @@
+(** Reverse-DNS names for router interfaces. Operators commonly encode
+    interface role and metro into PTR records ("ae-3.cr01.dal01...");
+    the paper used these location hints to geolocate the VP-side of
+    interdomain links (fig 16) and, during development, as a weak signal
+    for checking inferences (§5.1) — while warning that labels can be
+    stale or wrong. The simulated registry reproduces that: a fraction
+    of interfaces is unnamed and a smaller fraction carries the wrong
+    metro code. *)
+
+open Netcore
+
+type t
+
+(** [build ?named_fraction ?mislabel_fraction net ~seed] assigns PTR
+    names to interface addresses. Defaults: 85% named, 3% of those
+    labeled with a wrong metro. *)
+val build :
+  ?named_fraction:float -> ?mislabel_fraction:float -> Net.t -> seed:int -> t
+
+(** [lookup t addr] is the PTR record, if the interface is named. *)
+val lookup : t -> Ipv4.t -> string option
+
+(** [cardinal t] is the number of named interfaces. *)
+val cardinal : t -> int
+
+(** [city_code city] is the 3-letter metro code used in names. *)
+val city_code : Geo.city -> string
+
+(** [parse_city name] extracts the metro from a PTR record and resolves
+    it back to a city. *)
+val parse_city : string -> Geo.city option
+
+(** [parse_asn name] extracts the operator ASN embedded in the name. *)
+val parse_asn : string -> Asn.t option

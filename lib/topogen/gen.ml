@@ -1,0 +1,1016 @@
+open Netcore
+module B = Bgpdata
+
+type params = {
+  seed : int;
+  name : string;
+  host_kind : Net.as_kind;
+  host_cities : int;
+  host_sibling_count : int;
+  n_tier1 : int;
+  n_transit : int;
+  n_ixp : int;
+  host_ixp_count : int;
+  n_host_providers : int;
+  n_host_peers : int;
+  n_host_ixp_peers : int;
+  n_host_customers : int;
+  big_peer_links : int;
+  n_cdn_peers : int;
+  n_remote : int;
+  n_vps : int;
+  avg_cust_links : float;
+  p_cust_firewall : float;
+  p_cust_silent : float;
+  p_cust_echo_only : float;
+  p_third_party : float;
+  p_unrouted_infra : float;
+  p_pa_infra : float;
+  p_multihomed_pair : float;
+  p_ipid_shared : float;
+  p_ipid_periface : float;
+  p_ipid_random : float;
+  p_udp_canonical : float;
+  p_vrouter : float;
+  p_moas : float;
+}
+
+let default_params =
+  { seed = 1;
+    name = "default";
+    host_kind = Net.Access;
+    host_cities = 12;
+    host_sibling_count = 2;
+    n_tier1 = 6;
+    n_transit = 10;
+    n_ixp = 3;
+    host_ixp_count = 2;
+    n_host_providers = 3;
+    n_host_peers = 10;
+    n_host_ixp_peers = 8;
+    n_host_customers = 80;
+    big_peer_links = 20;
+    n_cdn_peers = 4;
+    n_remote = 60;
+    n_vps = 8;
+    avg_cust_links = 1.25;
+    p_cust_firewall = 0.55;
+    p_cust_silent = 0.05;
+    p_cust_echo_only = 0.03;
+    p_third_party = 0.08;
+    p_unrouted_infra = 0.10;
+    p_pa_infra = 0.06;
+    p_multihomed_pair = 0.04;
+    p_ipid_shared = 0.55;
+    p_ipid_periface = 0.18;
+    p_ipid_random = 0.15;
+    p_udp_canonical = 0.40;
+    p_vrouter = 0.03;
+    p_moas = 0.03 }
+
+type vp = { vp_name : string; vp_rid : int; vp_addr : Ipv4.t; vp_city : Geo.city }
+
+type world = {
+  params : params;
+  net : Net.t;
+  host_asn : Asn.t;
+  siblings : Asn.Set.t;
+  vps : vp list;
+  rels_truth : B.As_rel.t;
+  primary_exit : Asn.t Asn.Map.t;
+  ixp_registry : B.Ixp.t;
+  delegations : B.Delegation.t;
+  as2org : B.As2org.t;
+  collectors : Asn.t list;
+  selective : int list Prefix.Map.t Asn.Map.t;
+  big_peer : Asn.t;
+  cdn_peers : Asn.t list;
+  moas : (Prefix.t * Asn.t) list;
+}
+
+(* Mutable build state threaded through the construction helpers. *)
+type builder = {
+  p : params;
+  rng : Rng.t;
+  net : Net.t;
+  alloc : Addressing.t;
+  mutable rels : B.As_rel.t;
+  mutable dels : B.Delegation.t;
+  mutable orgs : B.As2org.t;
+  mutable registry : B.Ixp.t;
+  mutable primary : Asn.t Asn.Map.t;
+  mutable sel : int list Prefix.Map.t Asn.Map.t;
+  pools : (Asn.t, Addressing.pool) Hashtbl.t;
+  cores : (Asn.t * string, Net.router) Hashtbl.t;
+  mutable moas_extra : (Prefix.t * Asn.t) list;
+      (* prefix additionally originated by this AS *)
+}
+
+let host_org_name = "org-host"
+
+let org_of_kind kind asn =
+  let tag =
+    match kind with
+    | Net.Tier1 -> "t1"
+    | Net.Transit -> "tr"
+    | Net.Access -> "ac"
+    | Net.Content -> "cdn"
+    | Net.Enterprise -> "ent"
+    | Net.Stub -> "stub"
+    | Net.Ree -> "ree"
+  in
+  Printf.sprintf "org-%s-%d" tag asn
+
+let register_block b ~org prefix =
+  b.dels <-
+    B.Delegation.add b.dels
+      { registry = "sim"; cc = "US"; start = Prefix.first prefix;
+        count = Prefix.size prefix; date = "20160101"; status = "allocated";
+        opaque_id = org }
+
+let make_as b ~asn ~kind ~org ~cities ~filter ~policy ~announce_infra
+    ~infra_len ~prefix_lens =
+  let node =
+    { Net.asn; kind; org; cities; prefixes = []; infra = [];
+      announce_infra; filter; policy }
+  in
+  Net.add_as b.net node;
+  b.orgs <- B.As2org.add b.orgs asn org;
+  let prefixes =
+    List.map
+      (fun len ->
+        let p = Addressing.alloc_block b.alloc len in
+        register_block b ~org p;
+        p)
+      prefix_lens
+  in
+  node.prefixes <- prefixes;
+  (match infra_len with
+  | Some len ->
+    let infra = Addressing.alloc_block b.alloc len in
+    register_block b ~org infra;
+    node.infra <- [ infra ];
+    Hashtbl.replace b.pools asn (Addressing.pool_of infra)
+  | None -> ());
+  node
+
+let pool_of b asn =
+  match Hashtbl.find_opt b.pools asn with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Gen: AS%d has no infra pool" asn)
+
+(* Behaviour sampling ------------------------------------------------- *)
+
+let sample_ipid b =
+  let r = Rng.float b.rng in
+  if r < b.p.p_ipid_shared then Net.Shared_counter
+  else if r < b.p.p_ipid_shared +. b.p.p_ipid_periface then Net.Per_iface
+  else if r < b.p.p_ipid_shared +. b.p.p_ipid_periface +. b.p.p_ipid_random then
+    Net.Random_id
+  else Net.Zero_id
+
+let sample_udp b =
+  if Rng.bool b.rng ~p:b.p.p_udp_canonical then Net.Canonical
+  else if Rng.bool b.rng ~p:0.3 then Net.Probed_addr
+  else Net.No_udp
+
+let sample_behavior b (node : Net.as_node) ~third_party =
+  match node.filter with
+  | Net.Silent ->
+    { Net.ttl_expired = false; ttl_src = Net.Inbound; echo = false; unreach = false;
+      udp = Net.No_udp; ipid = Net.Zero_id }
+  | Net.Echo_only ->
+    { Net.ttl_expired = false; ttl_src = Net.Inbound; echo = true; unreach = true;
+      udp = Net.No_udp; ipid = sample_ipid b }
+  | Net.Open | Net.Firewall ->
+    let ttl_src =
+      (* Virtual-router reply selection is a neighbor-edge behaviour;
+         the hosting ISP's own backbone replies from the inbound
+         interface. *)
+      if third_party then Net.Toward_reply
+      else if node.org <> host_org_name && Rng.bool b.rng ~p:b.p.p_vrouter then
+        Net.Toward_dst
+      else Net.Inbound
+    in
+    { Net.ttl_expired = true; ttl_src; echo = Rng.bool b.rng ~p:0.95;
+      unreach = Rng.bool b.rng ~p:0.9; udp = sample_udp b; ipid = sample_ipid b }
+
+(* Router construction ------------------------------------------------ *)
+
+let internal_subnet b asn =
+  (* Customers flagged for PA reuse number internal links from the
+     space their provider delegated (fig 12); the delegation registry
+     keeps the block under the provider's org. *)
+  Addressing.alloc_subnet (pool_of b asn) 31
+
+let wire_internal b asn r1 r2 ~weight =
+  let subnet = internal_subnet b asn in
+  let a1, a2 = Addressing.p2p_addrs subnet in
+  ignore (Net.add_link b.net Net.Internal (r1, a1) (r2, a2) ~weight);
+  (* Connected route: the subnet is reachable at its first endpoint. *)
+  Net.set_home b.net subnet r1.Net.rid
+
+let nearest_core b asn city =
+  let best = ref None in
+  Hashtbl.iter
+    (fun (a, _) r ->
+      if Asn.equal a asn then
+        let d = Geo.distance_km city r.Net.city in
+        match !best with
+        | Some (d', _) when d' <= d -> ()
+        | _ -> best := Some (d, r))
+    b.cores;
+  Option.map snd !best
+
+(* A core router for [asn] in [city], created on demand and wired to the
+   nearest existing core of the same AS. *)
+let get_core b (node : Net.as_node) city =
+  match Hashtbl.find_opt b.cores (node.asn, city.Geo.name) with
+  | Some r -> r
+  | None ->
+    let behavior = sample_behavior b node ~third_party:false in
+    let r = Net.add_router b.net ~owner:node.asn ~city ~behavior in
+    (match nearest_core b node.asn city with
+    | Some near ->
+      wire_internal b node.asn r near
+        ~weight:(1.0 +. (Geo.distance_km city near.Net.city /. 100.0))
+    | None -> ());
+    Hashtbl.replace b.cores (node.asn, city.Geo.name) r;
+    (match r.Net.behavior.udp with
+    | Net.Canonical ->
+      Net.set_canonical b.net r (Addressing.alloc_addr (pool_of b node.asn))
+    | Net.Probed_addr | Net.No_udp -> ());
+    r
+
+let new_border b (node : Net.as_node) city ~third_party =
+  let behavior = sample_behavior b node ~third_party in
+  let r = Net.add_router b.net ~owner:node.asn ~city ~behavior in
+  let core = get_core b node city in
+  wire_internal b node.asn r core ~weight:1.0;
+  (match r.Net.behavior.udp with
+  | Net.Canonical -> Net.set_canonical b.net r (Addressing.alloc_addr (pool_of b node.asn))
+  | Net.Probed_addr | Net.No_udp -> ());
+  r
+
+(* Interdomain wiring ------------------------------------------------- *)
+
+let interconnect b ~(supplier : Asn.t) (r1 : Net.router) (r2 : Net.router) =
+  let len = if Rng.bool b.rng ~p:0.5 then 30 else 31 in
+  let subnet = Addressing.alloc_subnet (pool_of b supplier) len in
+  let a1, a2 = Addressing.p2p_addrs subnet in
+  let a1, a2 =
+    (* The supplier keeps the low address by convention. *)
+    if Asn.equal r1.Net.owner supplier then (a1, a2) else (a2, a1)
+  in
+  let l = Net.add_link b.net (Net.Private_interconnect subnet) (r1, a1) (r2, a2) ~weight:1.0 in
+  (* Connected route homed on the supplier-side router. *)
+  let home = if Asn.equal r1.Net.owner supplier then r1 else r2 in
+  Net.set_home b.net subnet home.Net.rid;
+  l
+
+let common_cities (x : Net.as_node) (y : Net.as_node) =
+  List.filter (fun c -> List.exists (Geo.equal_city c) y.Net.cities) x.Net.cities
+
+let pick_link_city b (x : Net.as_node) (y : Net.as_node) =
+  match common_cities x y with
+  | [] -> Rng.pick b.rng x.Net.cities
+  | cs -> Rng.pick b.rng cs
+
+(* Full-mesh-ish backbone for an AS across its cities: chain in
+   west-to-east order plus a wrap link and sparse chords. *)
+let build_backbone b (node : Net.as_node) =
+  let cities = node.Net.cities in
+  let cores = List.map (fun c -> get_core b node c) cities in
+  (match cores with
+  | _ :: _ :: _ ->
+    let arr = Array.of_list cores in
+    let n = Array.length arr in
+    for i = 0 to n - 2 do
+      let r1 = arr.(i) and r2 = arr.(i + 1) in
+      wire_internal b node.asn r1 r2
+        ~weight:(1.0 +. (Geo.distance_km r1.Net.city r2.Net.city /. 100.0))
+    done;
+    if n > 3 then (
+      let r1 = arr.(0) and r2 = arr.(n - 1) in
+      wire_internal b node.asn r1 r2
+        ~weight:(1.0 +. (Geo.distance_km r1.Net.city r2.Net.city /. 100.0)));
+    if n > 5 then
+      for _ = 1 to n / 3 do
+        let i = Rng.int b.rng n and j = Rng.int b.rng n in
+        if abs (i - j) > 1 then
+          wire_internal b node.asn arr.(i) arr.(j)
+            ~weight:(1.0 +. (Geo.distance_km arr.(i).Net.city arr.(j).Net.city /. 100.0))
+      done
+  | _ -> ());
+  cores
+
+let set_homes b (node : Net.as_node) routers =
+  List.iter
+    (fun p ->
+      let home = Rng.pick b.rng routers in
+      Net.set_home b.net p home.Net.rid)
+    node.Net.prefixes;
+  if node.Net.announce_infra then
+    List.iter
+      (fun p ->
+        let home = Rng.pick b.rng routers in
+        Net.set_home b.net p home.Net.rid)
+      node.Net.infra
+
+(* ---------------------------------------------------------------- *)
+
+let city_sample b n =
+  let all = Array.to_list Geo.us_cities in
+  let chosen = Rng.sample b.rng (min n (List.length all)) all in
+  (* Keep west-to-east ordering for readable backbones. *)
+  List.sort (fun a b -> Float.compare a.Geo.lon b.Geo.lon) chosen
+
+let add_selective b origin prefix lid =
+  let per_prefix =
+    Option.value ~default:Prefix.Map.empty (Asn.Map.find_opt origin b.sel)
+  in
+  let lids = Option.value ~default:[] (Prefix.Map.find_opt prefix per_prefix) in
+  b.sel <- Asn.Map.add origin (Prefix.Map.add prefix (lid :: lids) per_prefix) b.sel
+
+let generate p =
+  let b =
+    { p;
+      rng = Rng.create p.seed;
+      net = Net.create ();
+      alloc = Addressing.create ();
+      rels = B.As_rel.empty;
+      dels = B.Delegation.empty;
+      orgs = B.As2org.empty;
+      registry = B.Ixp.empty;
+      primary = Asn.Map.empty;
+      sel = Asn.Map.empty;
+      pools = Hashtbl.create 64;
+      cores = Hashtbl.create 256;
+      moas_extra = [] }
+  in
+  let host_asn = 64500 in
+  let host_org = host_org_name in
+
+  (* 1. The hosting AS and its siblings. *)
+  let host_cities = city_sample b p.host_cities in
+  let host =
+    make_as b ~asn:host_asn ~kind:p.host_kind ~org:host_org ~cities:host_cities
+      ~filter:Net.Open ~policy:Net.All_links ~announce_infra:true
+      ~infra_len:(Some 14)
+      ~prefix_lens:[ 15; 16; 16; 17; 18 ]
+  in
+  let siblings =
+    List.init p.host_sibling_count (fun i ->
+        let asn = host_asn + 1 + i in
+        let node =
+          make_as b ~asn ~kind:p.host_kind ~org:host_org ~cities:host_cities
+            ~filter:Net.Open ~policy:Net.All_links ~announce_infra:true
+            ~infra_len:None ~prefix_lens:[ 18 + Rng.int b.rng 3 ]
+        in
+        b.rels <- B.As_rel.add_c2p b.rels ~provider:host_asn ~customer:asn;
+        node)
+  in
+  let sibling_set =
+    Asn.Set.of_list (host_asn :: List.map (fun (s : Net.as_node) -> s.Net.asn) siblings)
+  in
+  let host_cores = build_backbone b host in
+  (* Parallel circuits: a second equal-cost path beside most backbone
+     segments, the load-balanced diamonds that make classic traceroute
+     wobble and justify Paris traceroute (2 of the paper's references). *)
+  let rec add_parallel = function
+    | c1 :: (c2 :: _ as rest) ->
+      if Rng.bool b.rng ~p:0.6 then begin
+        let w = 1.0 +. (Geo.distance_km c1.Net.city c2.Net.city /. 100.0) in
+        let m =
+          Net.add_router b.net ~owner:host_asn ~city:c1.Net.city
+            ~behavior:(sample_behavior b host ~third_party:false)
+        in
+        wire_internal b host_asn c1 m ~weight:(w /. 2.0);
+        wire_internal b host_asn m c2 ~weight:(w /. 2.0)
+      end;
+      add_parallel rest
+    | _ -> ()
+  in
+  add_parallel host_cores;
+  (* Private interconnection concentrates in major metros; the big peer
+     alone interconnects coast-to-coast (fig 16). *)
+  let metro_cities =
+    let n = List.length host_cities in
+    let step = max 1 (n / 8) in
+    List.filteri (fun i _ -> i mod step = 0) host_cities
+  in
+  (* Edge/aggregation routers: two per city; customers and VPs attach
+     here, giving border routers that serve many neighbors (§5.4.6). *)
+  let edges = Hashtbl.create 32 in
+  List.iter
+    (fun core ->
+      let city = core.Net.city in
+      let es =
+        List.init 2 (fun _ ->
+            let r =
+              Net.add_router b.net ~owner:host_asn ~city
+                ~behavior:(sample_behavior b host ~third_party:false)
+            in
+            wire_internal b host_asn r core ~weight:1.0;
+            (match r.Net.behavior.udp with
+            | Net.Canonical ->
+              Net.set_canonical b.net r (Addressing.alloc_addr (pool_of b host_asn))
+            | _ -> ());
+            r)
+      in
+      Hashtbl.replace edges city.Geo.name es)
+    host_cores;
+  let edge_in b city =
+    match Hashtbl.find_opt edges city.Geo.name with
+    | Some es -> Rng.pick b.rng es
+    | None -> get_core b host city
+  in
+  (* Shared host-side peering routers: real networks terminate many
+     peer/provider links on a few edge routers per metro, which is what
+     lets §5.4.1 anchor the near side of interdomain links. *)
+  let peering = Hashtbl.create 32 in
+  let host_border city =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt peering city.Geo.name) in
+    if cur = [] || (List.length cur < 2 && Rng.bool b.rng ~p:0.25) then begin
+      let r = new_border b host city ~third_party:false in
+      Hashtbl.replace peering city.Geo.name (r :: cur);
+      r
+    end
+    else Rng.pick b.rng cur
+  in
+  set_homes b host host_cores;
+  List.iter (fun (s : Net.as_node) -> set_homes b s host_cores) siblings;
+  (* Multi-origin: a few host prefixes co-originated by a sibling (§4.7). *)
+  List.iter
+    (fun pfx ->
+      if Rng.bool b.rng ~p:p.p_moas && siblings <> [] then
+        let s = Rng.pick b.rng siblings in
+        b.moas_extra <- (pfx, s.Net.asn) :: b.moas_extra)
+    host.Net.prefixes;
+
+  (* 2. Tier-1 clique. *)
+  let tier1s =
+    List.init p.n_tier1 (fun i ->
+        let asn = 1010 + (10 * i) in
+        make_as b ~asn ~kind:Net.Tier1 ~org:(org_of_kind Net.Tier1 asn)
+          ~cities:(city_sample b (8 + Rng.int b.rng 6))
+          ~filter:Net.Open ~policy:Net.All_links ~announce_infra:true
+          ~infra_len:(Some 17)
+          ~prefix_lens:[ 14; 15; 16; 16 ])
+  in
+  List.iter (fun t -> set_homes b t (build_backbone b t)) tier1s;
+  let rec clique = function
+    | [] -> ()
+    | (x : Net.as_node) :: rest ->
+      List.iter
+        (fun (y : Net.as_node) ->
+          b.rels <- B.As_rel.add_p2p b.rels x.Net.asn y.Net.asn;
+          let city = pick_link_city b x y in
+          let rx = new_border b x city ~third_party:false in
+          let ry = new_border b y city ~third_party:false in
+          let supplier = if Rng.bool b.rng ~p:0.5 then x.Net.asn else y.Net.asn in
+          ignore (interconnect b ~supplier rx ry))
+        rest;
+      clique rest
+  in
+  clique tier1s;
+
+  (* 3. Transit providers: customers of 1-3 Tier-1s. *)
+  let transits =
+    List.init p.n_transit (fun i ->
+        let asn = 2001 + i in
+        let node =
+          make_as b ~asn ~kind:Net.Transit ~org:(org_of_kind Net.Transit asn)
+            ~cities:(city_sample b (3 + Rng.int b.rng 5))
+            ~filter:Net.Open ~policy:Net.All_links
+            ~announce_infra:(not (Rng.bool b.rng ~p:p.p_unrouted_infra))
+            ~infra_len:(Some 18)
+            ~prefix_lens:[ 16; 17 ]
+        in
+        set_homes b node (build_backbone b node);
+        let ups = Rng.sample b.rng (1 + Rng.int b.rng 3) tier1s in
+        List.iter
+          (fun (t : Net.as_node) ->
+            b.rels <- B.As_rel.add_c2p b.rels ~provider:t.Net.asn ~customer:asn;
+            let city = pick_link_city b node t in
+            let rn = new_border b node city ~third_party:false in
+            let rt = new_border b t city ~third_party:false in
+            ignore (interconnect b ~supplier:t.Net.asn rt rn))
+          ups;
+        (match ups with
+        | (u : Net.as_node) :: _ -> b.primary <- Asn.Map.add asn u.Net.asn b.primary
+        | [] -> ());
+        node)
+  in
+  (* Sparse transit-transit peering (often invisible to collectors). *)
+  let rec transit_peering = function
+    | [] -> ()
+    | (x : Net.as_node) :: rest ->
+      List.iter
+        (fun (y : Net.as_node) ->
+          if Rng.bool b.rng ~p:0.15 then (
+            b.rels <- B.As_rel.add_p2p b.rels x.Net.asn y.Net.asn;
+            let city = pick_link_city b x y in
+            let rx = new_border b x city ~third_party:false in
+            let ry = new_border b y city ~third_party:false in
+            let supplier = if x.Net.asn < y.Net.asn then x.Net.asn else y.Net.asn in
+            ignore (interconnect b ~supplier rx ry)))
+        rest;
+      transit_peering rest
+  in
+  transit_peering transits;
+
+  (* 4. IXPs: a LAN prefix each; half are announced by a management AS,
+     the rest stay unrouted (§4 challenge 6). *)
+  let ixps =
+    List.init p.n_ixp (fun i ->
+        let name = Printf.sprintf "ixp-%d" (i + 1) in
+        let lan = Addressing.alloc_block b.alloc 24 in
+        register_block b ~org:name lan;
+        b.registry <- B.Ixp.add_prefix b.registry lan name;
+        let city = Geo.us_cities.(Rng.int b.rng (Array.length Geo.us_cities)) in
+        let pool = Addressing.pool_of lan in
+        let announced = Rng.bool b.rng ~p:0.5 in
+        (name, lan, city, pool, announced))
+  in
+  let lan_addr_of = Hashtbl.create 64 in
+  (* (asn, ixp name) -> router * lan address, created on first use. *)
+  let ixp_port (name, _lan, city, pool, _announced) (node : Net.as_node) =
+    match Hashtbl.find_opt lan_addr_of (node.Net.asn, name) with
+    | Some port -> port
+    | None ->
+      let r = new_border b node city ~third_party:false in
+      let addr = Addressing.alloc_addr pool in
+      if Rng.bool b.rng ~p:0.85 then
+        b.registry <- B.Ixp.add_member b.registry addr node.Net.asn name;
+      Hashtbl.replace lan_addr_of (node.Net.asn, name) (r, addr);
+      (r, addr)
+  in
+  let ixp_link ixp (x : Net.as_node) (y : Net.as_node) =
+    let (name, _, _, _, _) = ixp in
+    let rx, ax = ixp_port ixp x in
+    let ry, ay = ixp_port ixp y in
+    Net.add_link b.net (Net.Ixp_lan name) (rx, ax) (ry, ay) ~weight:1.0
+  in
+
+  (* 5. The hosting AS's providers. A large access network buys transit
+     from Tier-1s (its other upstream paths would otherwise be shadowed
+     by customer routes at its peers, hiding the peerings from public
+     view); smaller networks buy from transit providers too. *)
+  let host_providers =
+    if p.host_kind = Net.Access && p.n_host_providers >= 2 then
+      Rng.sample b.rng (min 2 p.n_host_providers) tier1s
+      @ Rng.sample b.rng (p.n_host_providers - 2) transits
+    else Rng.sample b.rng p.n_host_providers (tier1s @ transits)
+  in
+  List.iter
+    (fun (t : Net.as_node) ->
+      b.rels <- B.As_rel.add_c2p b.rels ~provider:t.Net.asn ~customer:host_asn;
+      let nlinks = 2 + Rng.int b.rng 4 in
+      for _ = 1 to nlinks do
+        let city = Rng.pick b.rng metro_cities in
+        ignore (pick_link_city b host t);
+        let rh = host_border city in
+        let rt = new_border b t city ~third_party:false in
+        ignore (interconnect b ~supplier:t.Net.asn rt rh)
+      done)
+    host_providers;
+  (match host_providers with
+  | (u : Net.as_node) :: _ -> b.primary <- Asn.Map.add host_asn u.Net.asn b.primary
+  | [] -> ());
+
+  (* 6. The big settlement-free peer (Level3-like): many geographically
+     spread interconnects, hot-potato everywhere (Figures 15/16). *)
+  let big_peer =
+    match
+      List.filter
+        (fun (t : Net.as_node) ->
+          not (List.exists (fun (u : Net.as_node) -> Asn.equal u.Net.asn t.Net.asn) host_providers))
+        tier1s
+    with
+    | [] -> List.hd tier1s
+    | t :: _ -> t
+  in
+  b.rels <- B.As_rel.add_p2p b.rels host_asn big_peer.Net.asn;
+  let n_big = max 1 p.big_peer_links in
+  for i = 0 to n_big - 1 do
+    let city = List.nth host_cities (i mod List.length host_cities) in
+    let rh = host_border city in
+    let rp = new_border b big_peer city ~third_party:false in
+    let supplier = if Rng.bool b.rng ~p:0.7 then big_peer.Net.asn else host_asn in
+    ignore (interconnect b ~supplier rh rp)
+  done;
+  (* A large access network peers settlement-free with most of the other
+     Tier-1s too, at several geographically spread interconnects: this
+     is what routes the bulk of remote prefixes via peers and produces
+     fig 14's 5-15 distinct exit routers per prefix. *)
+  if p.host_kind = Net.Access && p.big_peer_links >= 10 then
+    List.iter
+      (fun (t : Net.as_node) ->
+        let is_provider =
+          List.exists (fun (u : Net.as_node) -> Asn.equal u.Net.asn t.Net.asn) host_providers
+        in
+        if
+          (not is_provider)
+          && (not (Asn.equal t.Net.asn big_peer.Net.asn))
+          && Rng.bool b.rng ~p:0.7
+        then begin
+          b.rels <- B.As_rel.add_p2p b.rels host_asn t.Net.asn;
+          let nlinks = 5 + Rng.int b.rng 9 in
+          for _ = 1 to nlinks do
+            let city = Rng.pick b.rng host_cities in
+            let rh = host_border city in
+            let rp = new_border b t city ~third_party:false in
+            let supplier = if Rng.bool b.rng ~p:0.5 then t.Net.asn else host_asn in
+            ignore (interconnect b ~supplier rh rp)
+          done
+        end)
+      tier1s;
+
+  (* 7. CDN peers with selective announcement (Akamai-, Google-like). *)
+  let cdn_peers =
+    List.init p.n_cdn_peers (fun i ->
+        let asn = 30001 + i in
+        let style =
+          (* 0: single-link pinning (Akamai); 1: coast pinning (Google);
+             2: everywhere (plain CDN). *)
+          i mod 3
+        in
+        let node =
+          make_as b ~asn ~kind:Net.Content ~org:(org_of_kind Net.Content asn)
+            ~cities:(city_sample b (3 + Rng.int b.rng 4))
+            ~filter:Net.Open
+            ~policy:(if style = 2 then Net.All_links else Net.Per_link)
+            ~announce_infra:true ~infra_len:(Some 19)
+            ~prefix_lens:(List.init (6 + Rng.int b.rng 6) (fun _ -> 20 + Rng.int b.rng 4))
+        in
+        let cores = build_backbone b node in
+        set_homes b node cores;
+        (* Transit from a tier1 so remote ASes can reach the CDN. *)
+        let up = Rng.pick b.rng tier1s in
+        b.rels <- B.As_rel.add_c2p b.rels ~provider:up.Net.asn ~customer:asn;
+        let city = pick_link_city b node up in
+        let rn = new_border b node city ~third_party:false in
+        let rt = new_border b up city ~third_party:false in
+        ignore (interconnect b ~supplier:up.Net.asn rt rn);
+        b.primary <- Asn.Map.add asn up.Net.asn b.primary;
+        (* Peering links with the host, spread across host cities. *)
+        b.rels <- B.As_rel.add_p2p b.rels host_asn asn;
+        let nlinks = 4 + Rng.int b.rng 5 in
+        let cities = Rng.sample b.rng nlinks metro_cities in
+        let links =
+          List.map
+            (fun city ->
+              let rh = host_border city in
+              let rc = new_border b node city ~third_party:false in
+              let supplier = if Rng.bool b.rng ~p:0.5 then asn else host_asn in
+              interconnect b ~supplier rh rc)
+            cities
+        in
+        (* Pin prefixes to links according to style. Style 0 (Akamai)
+           pins every announced prefix, round-robin so each interconnect
+           carries some: a single VP anywhere then observes every link
+           (fig 15). *)
+        (match style with
+        | 0 ->
+          let arr = Array.of_list links in
+          List.iteri
+            (fun i pfx ->
+              let l = arr.(i mod Array.length arr) in
+              add_selective b asn pfx l.Net.lid)
+            (node.Net.prefixes @ node.Net.infra)
+        | 1 ->
+          let sorted =
+            List.sort
+              (fun (l1 : Net.link) l2 ->
+                let c1 = (Net.router b.net (fst l1.Net.a)).Net.city in
+                let c2 = (Net.router b.net (fst l2.Net.a)).Net.city in
+                Float.compare c1.Geo.lon c2.Geo.lon)
+              links
+          in
+          let n = List.length sorted in
+          let west = List.filteri (fun i _ -> i < (n + 1) / 2) sorted in
+          let east = List.filteri (fun i _ -> i >= (n + 1) / 2) sorted in
+          List.iteri
+            (fun i pfx ->
+              let side = if i mod 2 = 0 then west else east in
+              let side = if side = [] then sorted else side in
+              List.iter (fun (l : Net.link) -> add_selective b asn pfx l.Net.lid) side)
+            (node.Net.prefixes @ node.Net.infra)
+        | _ -> ());
+        node)
+  in
+
+  (* 8. Other private and route-server peers. *)
+  let other_peers =
+    List.init p.n_host_peers (fun i ->
+        let asn = 31001 + i in
+        let kind = if Rng.bool b.rng ~p:0.5 then Net.Transit else Net.Content in
+        let node =
+          make_as b ~asn ~kind ~org:(org_of_kind kind asn)
+            ~cities:(city_sample b (2 + Rng.int b.rng 3))
+            ~filter:Net.Open ~policy:Net.All_links
+            ~announce_infra:(not (Rng.bool b.rng ~p:p.p_unrouted_infra))
+            ~infra_len:(Some 19)
+            ~prefix_lens:(List.init (1 + Rng.int b.rng 3) (fun _ -> 19 + Rng.int b.rng 5))
+        in
+        let cores = build_backbone b node in
+        set_homes b node cores;
+        let up = Rng.pick b.rng (tier1s @ transits) in
+        b.rels <- B.As_rel.add_c2p b.rels ~provider:up.Net.asn ~customer:asn;
+        let city = pick_link_city b node up in
+        let rn = new_border b node city ~third_party:false in
+        let rt = new_border b up city ~third_party:false in
+        ignore (interconnect b ~supplier:up.Net.asn rt rn);
+        b.primary <- Asn.Map.add asn up.Net.asn b.primary;
+        b.rels <- B.As_rel.add_p2p b.rels host_asn asn;
+        let nlinks = 1 + Rng.int b.rng 2 in
+        for _ = 1 to nlinks do
+          let city = pick_link_city b host node in
+          let rh = new_border b host city ~third_party:false in
+          let rp = new_border b node city ~third_party:false in
+          let supplier = if Rng.bool b.rng ~p:0.5 then asn else host_asn in
+          ignore (interconnect b ~supplier rh rp)
+        done;
+        node)
+  in
+
+  (* Route-server peers across the host's IXPs. *)
+  let host_ixps = List.filteri (fun i _ -> i < p.host_ixp_count) ixps in
+  let ixp_peers =
+    if host_ixps = [] then []
+    else
+      List.init p.n_host_ixp_peers (fun i ->
+          let asn = 32001 + i in
+          let kind = if Rng.bool b.rng ~p:0.6 then Net.Content else Net.Stub in
+          let node =
+            make_as b ~asn ~kind ~org:(org_of_kind kind asn)
+              ~cities:(city_sample b (1 + Rng.int b.rng 2))
+              ~filter:Net.Open ~policy:Net.All_links ~announce_infra:true
+              ~infra_len:(Some 20)
+              ~prefix_lens:(List.init (1 + Rng.int b.rng 2) (fun _ -> 21 + Rng.int b.rng 3))
+          in
+          let cores = build_backbone b node in
+          set_homes b node cores;
+          let up = Rng.pick b.rng (tier1s @ transits) in
+          b.rels <- B.As_rel.add_c2p b.rels ~provider:up.Net.asn ~customer:asn;
+          let city = pick_link_city b node up in
+          let rn = new_border b node city ~third_party:false in
+          let rt = new_border b up city ~third_party:false in
+          ignore (interconnect b ~supplier:up.Net.asn rt rn);
+          b.primary <- Asn.Map.add asn up.Net.asn b.primary;
+          b.rels <- B.As_rel.add_p2p b.rels host_asn asn;
+          let ixp = Rng.pick b.rng host_ixps in
+          ignore (ixp_link ixp host node);
+          node)
+  in
+
+  (* 9. Customers of the host. *)
+  let customers =
+    List.init p.n_host_customers (fun i ->
+        let asn = 40001 + i in
+        let kind =
+          let r = Rng.float b.rng in
+          if r < 0.55 then Net.Enterprise
+          else if r < 0.80 then Net.Stub
+          else if r < 0.92 then Net.Access
+          else Net.Content
+        in
+        let filter =
+          let r = Rng.float b.rng in
+          if r < p.p_cust_silent then Net.Silent
+          else if r < p.p_cust_silent +. p.p_cust_echo_only then Net.Echo_only
+          else if r < p.p_cust_silent +. p.p_cust_echo_only +. p.p_cust_firewall then
+            Net.Firewall
+          else Net.Open
+        in
+        let pa_infra = Rng.bool b.rng ~p:p.p_pa_infra in
+        let node =
+          make_as b ~asn ~kind ~org:(org_of_kind kind asn)
+            ~cities:[ Rng.pick b.rng host_cities ]
+            ~filter ~policy:Net.All_links
+            ~announce_infra:
+              ((not pa_infra) && not (Rng.bool b.rng ~p:p.p_unrouted_infra))
+            ~infra_len:(if pa_infra then None else Some 22)
+            ~prefix_lens:(List.init (1 + Rng.int b.rng 2) (fun _ -> 19 + Rng.int b.rng 6))
+        in
+        if pa_infra then (
+          (* PA space: internal links numbered from host-held space. *)
+          let block = Addressing.alloc_subnet (pool_of b host_asn) 25 in
+          node.Net.infra <- [ block ];
+          Hashtbl.replace b.pools asn (Addressing.pool_of block));
+        b.rels <- B.As_rel.add_c2p b.rels ~provider:host_asn ~customer:asn;
+        (* Some customers multihome to a transit: enables third-party
+           replies and BGP path diversity. *)
+        let other_up =
+          if Rng.bool b.rng ~p:0.3 then Some (Rng.pick b.rng transits) else None
+        in
+        (match other_up with
+        | Some (u : Net.as_node) ->
+          b.rels <- B.As_rel.add_c2p b.rels ~provider:u.Net.asn ~customer:asn
+        | None -> ());
+        let third_party =
+          other_up <> None && Rng.bool b.rng ~p:(p.p_third_party /. 0.3)
+        in
+        b.primary <-
+          Asn.Map.add asn
+            (match other_up with
+            | Some u when third_party -> u.Net.asn
+            | _ -> host_asn)
+            b.primary;
+        let city = List.hd node.Net.cities in
+        (* Customer-side border; chained second router for the
+           multihomed-pair vignette of §5.4.1 step 1.1. *)
+        let border = new_border b node city ~third_party in
+        (* Echo-only borders answer pings to the first usable address of
+           their leading prefix (§5.4.8 step 8.2 needs a reply whose
+           source maps into the neighbor). *)
+        (match (filter, node.Net.prefixes) with
+        | Net.Echo_only, p :: _ ->
+          Net.set_canonical b.net border (Ipv4.add (Prefix.first p) 1)
+        | _ -> ());
+        let routers = ref [ border ] in
+        if Rng.bool b.rng ~p:p.p_multihomed_pair then begin
+          let r2b = sample_behavior b node ~third_party:false in
+          let r2 =
+            Net.add_router b.net ~owner:asn ~city
+              ~behavior:{ r2b with Net.ttl_src = Net.Toward_reply }
+          in
+          wire_internal b asn border r2 ~weight:1.0;
+          let rh = edge_in b city in
+          ignore (interconnect b ~supplier:host_asn rh r2);
+          b.primary <- Asn.Map.add asn host_asn b.primary;
+          routers := r2 :: !routers
+        end;
+        (* Internal routers behind the border for open networks. *)
+        if node.Net.filter = Net.Open && Rng.bool b.rng ~p:0.6 then begin
+          let core = get_core b node city in
+          if not (List.exists (fun (r : Net.router) -> r.Net.rid = core.Net.rid) !routers)
+          then routers := core :: !routers
+        end;
+        let nlinks =
+          if Rng.float b.rng < p.avg_cust_links -. 1.0 then 2 else 1
+        in
+        for _ = 1 to nlinks do
+          let rh = edge_in b city in
+          ignore (interconnect b ~supplier:host_asn rh border)
+        done;
+        (match other_up with
+        | Some (u : Net.as_node) ->
+          let ucity = pick_link_city b node u in
+          let rt = new_border b u ucity ~third_party:false in
+          ignore (interconnect b ~supplier:u.Net.asn rt border)
+        | None -> ());
+        set_homes b node [ List.hd !routers ];
+        node)
+  in
+
+  (* 10. Remote (non-neighbor) ASes filling out the Internet. *)
+  let remotes =
+    List.init p.n_remote (fun i ->
+        let asn = 50001 + i in
+        let kind =
+          let r = Rng.float b.rng in
+          if r < 0.6 then Net.Stub else if r < 0.85 then Net.Content else Net.Access
+        in
+        let filter =
+          let r = Rng.float b.rng in
+          if r < 0.05 then Net.Silent
+          else if r < 0.45 then Net.Firewall
+          else Net.Open
+        in
+        let node =
+          make_as b ~asn ~kind ~org:(org_of_kind kind asn)
+            ~cities:(city_sample b (1 + Rng.int b.rng 2))
+            ~filter ~policy:Net.All_links
+            ~announce_infra:(not (Rng.bool b.rng ~p:p.p_unrouted_infra))
+            ~infra_len:(Some 22)
+            ~prefix_lens:(List.init (1 + Rng.int b.rng 2) (fun _ -> 20 + Rng.int b.rng 5))
+        in
+        let cores = build_backbone b node in
+        set_homes b node cores;
+        let ups = Rng.sample b.rng (1 + Rng.int b.rng 2) (tier1s @ transits) in
+        List.iter
+          (fun (u : Net.as_node) ->
+            b.rels <- B.As_rel.add_c2p b.rels ~provider:u.Net.asn ~customer:asn;
+            let city = pick_link_city b node u in
+            let rn = new_border b node city ~third_party:false in
+            let rt = new_border b u city ~third_party:false in
+            ignore (interconnect b ~supplier:u.Net.asn rt rn))
+          ups;
+        (match ups with
+        | (u : Net.as_node) :: _ -> b.primary <- Asn.Map.add asn u.Net.asn b.primary
+        | [] -> ());
+        node)
+  in
+  ignore remotes;
+  ignore other_peers;
+  ignore ixp_peers;
+  ignore customers;
+
+  (* Homes for IXP LANs announced by a management AS. *)
+  List.iter
+    (fun (name, lan, city, _pool, announced) ->
+      if announced then begin
+        let asn = 59000 + int_of_string (String.sub name 4 (String.length name - 4)) in
+        let node =
+          make_as b ~asn ~kind:Net.Stub ~org:name ~cities:[ city ] ~filter:Net.Open
+            ~policy:Net.All_links ~announce_infra:false ~infra_len:(Some 24)
+            ~prefix_lens:[]
+        in
+        node.Net.prefixes <- [ lan ];
+        let up = Rng.pick b.rng transits in
+        b.rels <- B.As_rel.add_c2p b.rels ~provider:up.Net.asn ~customer:asn;
+        let rn = get_core b node city in
+        let rt = new_border b up city ~third_party:false in
+        ignore (interconnect b ~supplier:up.Net.asn rt rn);
+        Net.set_home b.net lan rn.Net.rid;
+        b.primary <- Asn.Map.add asn up.Net.asn b.primary
+      end)
+    ixps;
+
+  (* 11. Vantage points. *)
+  let vp_cities =
+    let n = min p.n_vps (List.length host_cities) in
+    let extra = max 0 (p.n_vps - n) in
+    Rng.sample b.rng n host_cities
+    @ List.init extra (fun _ -> Rng.pick b.rng host_cities)
+  in
+  let vps =
+    List.mapi
+      (fun i city ->
+        let gw = edge_in b city in
+        let subnet = Addressing.alloc_subnet (pool_of b host_asn) 30 in
+        let a_cpe, a_gw = Addressing.p2p_addrs subnet in
+        let cpe =
+          Net.add_router b.net ~owner:host_asn ~city
+            ~behavior:(sample_behavior b host ~third_party:false)
+        in
+        ignore (Net.add_link b.net Net.Internal (cpe, a_cpe) (gw, a_gw) ~weight:1.0);
+        { vp_name = Printf.sprintf "vp-%02d-%s" (i + 1) city.Geo.name;
+          vp_rid = cpe.Net.rid; vp_addr = a_cpe; vp_city = city })
+      vp_cities
+  in
+
+  (* 12. Collector-peer ASes for the public BGP view. *)
+  let collectors =
+    let t1 = List.map (fun (t : Net.as_node) -> t.Net.asn) tier1s in
+    let tr =
+      List.filteri (fun i _ -> i < 3) (List.map (fun (t : Net.as_node) -> t.Net.asn) transits)
+    in
+    t1 @ tr
+  in
+
+  { params = p;
+    net = b.net;
+    host_asn;
+    siblings = sibling_set;
+    vps;
+    rels_truth = b.rels;
+    primary_exit = b.primary;
+    ixp_registry = b.registry;
+    delegations = b.dels;
+    as2org = b.orgs;
+    collectors;
+    selective = b.sel;
+    big_peer = big_peer.Net.asn;
+    cdn_peers = List.map (fun (c : Net.as_node) -> c.Net.asn) cdn_peers;
+    moas = b.moas_extra }
+
+let originated (w : world) =
+  let extra p =
+    List.filter_map
+      (fun (q, asn) -> if Prefix.equal p q then Some asn else None)
+      w.moas
+  in
+  List.concat_map
+    (fun (node : Net.as_node) ->
+      let announced =
+        node.Net.prefixes @ (if node.Net.announce_infra then node.Net.infra else [])
+      in
+      List.map
+        (fun p -> (p, Asn.Set.of_list (node.Net.asn :: extra p)))
+        announced)
+    (Net.ases w.net)
+
+let host_neighbor_truth (w : world) =
+  let rels = w.rels_truth in
+  let classify acc member =
+    let add asn kind acc =
+      if Asn.Set.mem asn w.siblings then acc
+      else
+        match Asn.Map.find_opt asn acc with
+        | Some `Customer -> acc
+        | Some _ when kind = `Customer -> Asn.Map.add asn kind acc
+        | Some _ -> acc
+        | None -> Asn.Map.add asn kind acc
+    in
+    let acc =
+      Asn.Set.fold (fun a acc -> add a `Customer acc) (B.As_rel.customers rels member) acc
+    in
+    let acc =
+      Asn.Set.fold (fun a acc -> add a `Peer acc) (B.As_rel.peers rels member) acc
+    in
+    Asn.Set.fold (fun a acc -> add a `Provider acc) (B.As_rel.providers rels member) acc
+  in
+  Asn.Set.fold (fun m acc -> classify acc m) w.siblings Asn.Map.empty

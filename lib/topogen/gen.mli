@@ -1,0 +1,81 @@
+(** Deterministic generator of a router-level internetwork around a
+    VP-hosting AS, together with the ground-truth relationship graph and
+    the public input artifacts (IXP registry, RIR delegations, sibling
+    map) that the paper's pipeline consumes (§5.2).
+
+    The generated world exhibits every pathology §4 enumerates: neighbor
+    links numbered from provider space, third-party reply addresses,
+    firewalled and fully silent edges, virtual-router reply selection,
+    sibling ASes, inconsistent IXP address origination, multi-origin
+    prefixes, unrouted infrastructure, and PA space reuse by customers. *)
+
+open Netcore
+
+type params = {
+  seed : int;
+  name : string;
+  host_kind : Net.as_kind;
+  host_cities : int;  (** backbone metro count of the hosting AS *)
+  host_sibling_count : int;
+  n_tier1 : int;
+  n_transit : int;
+  n_ixp : int;
+  host_ixp_count : int;  (** IXPs the hosting AS joins *)
+  n_host_providers : int;
+  n_host_peers : int;  (** private peers beyond big peer and CDNs *)
+  n_host_ixp_peers : int;  (** route-server peers at IXPs *)
+  n_host_customers : int;
+  big_peer_links : int;  (** interconnect count with the Level3-like peer *)
+  n_cdn_peers : int;  (** selective announcers (Akamai-, Google-like) *)
+  n_remote : int;  (** non-neighbor destination ASes *)
+  n_vps : int;
+  avg_cust_links : float;
+  p_cust_firewall : float;
+  p_cust_silent : float;
+  p_cust_echo_only : float;
+  p_third_party : float;
+  p_unrouted_infra : float;
+  p_pa_infra : float;
+  p_multihomed_pair : float;
+  p_ipid_shared : float;
+  p_ipid_periface : float;
+  p_ipid_random : float;
+  p_udp_canonical : float;
+  p_vrouter : float;
+  p_moas : float;  (** chance a prefix is co-originated by a sibling *)
+}
+
+val default_params : params
+
+type vp = { vp_name : string; vp_rid : int; vp_addr : Ipv4.t; vp_city : Geo.city }
+
+type world = {
+  params : params;
+  net : Net.t;
+  host_asn : Asn.t;
+  siblings : Asn.Set.t;  (** the hosting org's ASes, including host *)
+  vps : vp list;
+  rels_truth : Bgpdata.As_rel.t;  (** ground-truth relationships *)
+  primary_exit : Asn.t Asn.Map.t;  (** per-AS default-route provider *)
+  ixp_registry : Bgpdata.Ixp.t;
+  delegations : Bgpdata.Delegation.t;
+  as2org : Bgpdata.As2org.t;
+  collectors : Asn.t list;  (** ASes feeding the public BGP view *)
+  selective : int list Prefix.Map.t Asn.Map.t;
+      (** for Per_link origins: prefix -> allowed interdomain link ids *)
+  big_peer : Asn.t;
+  cdn_peers : Asn.t list;
+  moas : (Prefix.t * Asn.t) list;
+      (** prefixes additionally originated by a sibling (§4 challenge 7) *)
+}
+
+val generate : params -> world
+
+(** [originated w] is every (prefix, origin set) pair announced in BGP,
+    reflecting announce_infra and multi-origin settings. *)
+val originated : world -> (Prefix.t * Asn.Set.t) list
+
+(** [host_neighbor_truth w] is the true neighbor set of the hosting org,
+    by relationship. *)
+val host_neighbor_truth :
+  world -> [ `Customer | `Peer | `Provider ] Asn.Map.t

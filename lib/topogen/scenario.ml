@@ -1,0 +1,119 @@
+let scaled scale n = max 1 (int_of_float (float_of_int n *. scale))
+
+let tiny =
+  { Gen.default_params with
+    Gen.name = "tiny";
+    seed = 7;
+    host_cities = 4;
+    host_sibling_count = 1;
+    n_tier1 = 3;
+    n_transit = 3;
+    n_ixp = 1;
+    host_ixp_count = 1;
+    n_host_providers = 2;
+    n_host_peers = 3;
+    n_host_ixp_peers = 2;
+    n_host_customers = 12;
+    big_peer_links = 4;
+    n_cdn_peers = 2;
+    n_remote = 10;
+    n_vps = 3 }
+
+let r_and_e ?(scale = 1.0) ?(seed = 11) () =
+  { Gen.default_params with
+    Gen.name = "r_and_e";
+    seed;
+    host_kind = Net.Ree;
+    host_cities = 5;
+    host_sibling_count = 1;
+    n_tier1 = 5;
+    n_transit = 8;
+    n_ixp = 3;
+    host_ixp_count = 3;
+    n_host_providers = 1;
+    n_host_peers = scaled scale 2;
+    n_host_ixp_peers = scaled scale 40;
+    n_host_customers = scaled scale 30;
+    big_peer_links = 2;
+    n_cdn_peers = 2;
+    n_remote = scaled scale 60;
+    n_vps = 1;
+    (* R&E customers are campuses: almost all firewalled. *)
+    p_cust_firewall = 0.55;
+    p_cust_silent = 0.09;
+    p_cust_echo_only = 0.02 }
+
+let large_access ?(scale = 1.0) ?(seed = 22) () =
+  { Gen.default_params with
+    Gen.name = "large_access";
+    seed;
+    host_kind = Net.Access;
+    host_cities = 18;
+    host_sibling_count = 3;
+    n_tier1 = 8;
+    n_transit = 16;
+    n_ixp = 4;
+    host_ixp_count = 2;
+    n_host_providers = 5;
+    n_host_peers = scaled scale 17;
+    n_host_ixp_peers = scaled scale 4;
+    n_host_customers = scaled scale 650;
+    big_peer_links = 45;
+    n_cdn_peers = 5;
+    n_remote = scaled scale 400;
+    n_vps = 19;
+    p_cust_firewall = 0.60;
+    p_cust_silent = 0.04;
+    p_cust_echo_only = 0.02;
+    p_third_party = 0.05 }
+
+let tier1 ?(scale = 1.0) ?(seed = 33) () =
+  { Gen.default_params with
+    Gen.name = "tier1";
+    seed;
+    host_kind = Net.Tier1;
+    host_cities = 16;
+    host_sibling_count = 2;
+    n_tier1 = 7;
+    n_transit = 14;
+    n_ixp = 4;
+    host_ixp_count = 2;
+    n_host_providers = 0;
+    n_host_peers = scaled scale 55;
+    n_host_ixp_peers = scaled scale 10;
+    n_host_customers = scaled scale 1640;
+    big_peer_links = 12;
+    n_cdn_peers = 4;
+    n_remote = scaled scale 250;
+    n_vps = 4;
+    p_cust_firewall = 0.65;
+    p_cust_silent = 0.05;
+    p_cust_echo_only = 0.03;
+    p_third_party = 0.04 }
+
+let small_access ?(scale = 1.0) ?(seed = 44) () =
+  { Gen.default_params with
+    Gen.name = "small_access";
+    seed;
+    host_kind = Net.Access;
+    host_cities = 4;
+    host_sibling_count = 0;
+    n_tier1 = 5;
+    n_transit = 8;
+    n_ixp = 2;
+    host_ixp_count = 2;
+    n_host_providers = 2;
+    n_host_peers = scaled scale 6;
+    n_host_ixp_peers = scaled scale 25;
+    n_host_customers = scaled scale 20;
+    big_peer_links = 3;
+    n_cdn_peers = 2;
+    n_remote = scaled scale 80;
+    n_vps = 2 }
+
+let by_name = function
+  | "r_and_e" -> Some r_and_e
+  | "large_access" -> Some large_access
+  | "tier1" -> Some tier1
+  | "small_access" -> Some small_access
+  | _ -> None

@@ -1,0 +1,24 @@
+(** Scenario presets sized after the paper's validation networks (§5.6)
+    and the measurement study (§6). A [scale] factor below 1.0 shrinks
+    the neighbor counts proportionally for fast tests. *)
+
+val tiny : Gen.params
+(** A very small world for unit tests: a handful of every AS kind. *)
+
+val r_and_e : ?scale:float -> ?seed:int -> unit -> Gen.params
+(** Research-and-education network: ~17 routers, ~48 BGP neighbors,
+    3 IXPs with route-server peers. *)
+
+val large_access : ?scale:float -> ?seed:int -> unit -> Gen.params
+(** Large U.S. access network: ~650 customers, 26 peers, 5 providers,
+    19 VPs, a Level3-like peer with 45 interconnects, CDN peers with
+    selective announcement. *)
+
+val tier1 : ?scale:float -> ?seed:int -> unit -> Gen.params
+(** Tier-1 transit network: ~1640 customers, ~70 peers, no providers. *)
+
+val small_access : ?scale:float -> ?seed:int -> unit -> Gen.params
+(** Small access network: ~14 border routers, modest neighbor set. *)
+
+val by_name : string -> (?scale:float -> ?seed:int -> unit -> Gen.params) option
+(** Lookup by name: "r_and_e", "large_access", "tier1", "small_access". *)

@@ -1,0 +1,195 @@
+open Netcore
+module Ally = Aliasres.Ally
+module Mercator = Aliasres.Mercator
+module Prefixscan = Aliasres.Prefixscan
+module Ag = Aliasres.Alias_graph
+
+let ip = Ipv4.of_string_exn
+
+(* Synthetic samplers ------------------------------------------------- *)
+
+let shared_counter_sampler start =
+  let c = ref start in
+  fun _addr ->
+    incr c;
+    Some (!c land 0xFFFF)
+
+let two_counter_sampler () =
+  let c1 = ref 100 and c2 = ref 40000 in
+  fun addr ->
+    if Ipv4.to_int addr land 1 = 0 then begin
+      c1 := !c1 + 3;
+      Some (!c1 land 0xFFFF)
+    end
+    else begin
+      c2 := !c2 + 3;
+      Some (!c2 land 0xFFFF)
+    end
+
+let test_monotonic () =
+  Alcotest.(check bool) "increasing" true (Ally.monotonic [ 1; 5; 9; 100 ]);
+  Alcotest.(check bool) "wraps once" true (Ally.monotonic [ 65530; 65534; 3; 9 ]);
+  Alcotest.(check bool) "flat fails" false (Ally.monotonic [ 7; 7; 8 ]);
+  Alcotest.(check bool) "decrease fails" false (Ally.monotonic [ 9; 5 ]);
+  Alcotest.(check bool) "big jump fails" false (Ally.monotonic [ 1; 40000 ]);
+  Alcotest.(check bool) "empty ok" true (Ally.monotonic []);
+  Alcotest.(check bool) "double wrap fails" false
+    (Ally.monotonic [ 0; 30000; 60000; 25000; 55000; 20000 ])
+
+let test_ally_same_router () =
+  let s = shared_counter_sampler 1000 in
+  Alcotest.(check bool) "aliases" true
+    (Ally.trial s (ip "10.0.0.1") (ip "10.0.0.2") ~samples:5 = Ally.Aliases)
+
+let test_ally_different_routers () =
+  let s = two_counter_sampler () in
+  Alcotest.(check bool) "not aliases" true
+    (Ally.trial s (ip "10.0.0.2") (ip "10.0.0.3") ~samples:5 = Ally.Not_aliases)
+
+let test_ally_unresponsive () =
+  let none _ = None in
+  Alcotest.(check bool) "unresponsive" true
+    (Ally.trial none (ip "10.0.0.1") (ip "10.0.0.2") ~samples:3 = Ally.Unresponsive);
+  let zero _ = Some 0 in
+  Alcotest.(check bool) "constant ids unusable" true
+    (Ally.trial zero (ip "10.0.0.1") (ip "10.0.0.2") ~samples:3 = Ally.Unresponsive)
+
+let test_ally_random_ids_unusable () =
+  let r = Rng.create 5 in
+  let s _ = Some (Rng.int r 65536) in
+  let verdict = Ally.trial s (ip "10.0.0.1") (ip "10.0.0.2") ~samples:6 in
+  Alcotest.(check bool) "random ids never infer aliases" true (verdict <> Ally.Aliases)
+
+let test_ally_repeat_rejects () =
+  (* First trial happens to look like one counter, later trial reveals
+     two counters: repetition must reject (§5.3 "Limit false aliases"). *)
+  let phase = ref 0 in
+  let c1 = ref 0 and c2 = ref 3 in
+  let s addr =
+    if !phase = 0 then begin
+      (* Counters interleaved tightly: looks shared. *)
+      if Ipv4.to_int addr land 1 = 0 then begin
+        c1 := !c1 + 4;
+        Some (!c1 land 0xFFFF)
+      end
+      else begin
+        c2 := !c2 + 4;
+        Some (!c2 land 0xFFFF)
+      end
+    end
+    else begin
+      (* Now the two counters drift far apart: per-address samples stay
+         monotonic but the merged sequence cannot be. *)
+      if Ipv4.to_int addr land 1 = 0 then begin
+        c1 := !c1 + 4;
+        Some (!c1 land 0xFFFF)
+      end
+      else begin
+        if !c2 < 50000 then c2 := 50000;
+        c2 := !c2 + 4;
+        Some (!c2 land 0xFFFF)
+      end
+    end
+  in
+  (* Make the deceptive phase actually monotonic: c1 and c2 offset. *)
+  c1 := 0;
+  c2 := 2;
+  let wait () = incr phase in
+  let verdict =
+    Ally.test s ~wait (ip "10.0.0.2") (ip "10.0.0.3") ~trials:3 ~samples:3
+  in
+  Alcotest.(check bool) "later trial rejects" true (verdict = Ally.Not_aliases)
+
+let test_mercator () =
+  let canonical = ip "10.9.9.9" in
+  let p_common _ = Some canonical in
+  Alcotest.(check bool) "common source" true
+    (Mercator.test p_common (ip "10.0.0.1") (ip "10.0.0.2") = Mercator.Aliases);
+  let p_echoes a = Some a in
+  Alcotest.(check bool) "probed-addr source useless" true
+    (Mercator.test p_echoes (ip "10.0.0.1") (ip "10.0.0.2") = Mercator.Unresponsive);
+  let p_two a = if Ipv4.to_int a land 1 = 0 then Some (ip "10.1.1.1") else Some (ip "10.2.2.2") in
+  Alcotest.(check bool) "distinct canonicals" true
+    (Mercator.test p_two (ip "10.0.0.2") (ip "10.0.0.3") = Mercator.Not_aliases);
+  let p_none _ = None in
+  Alcotest.(check bool) "silent" true
+    (Mercator.test p_none (ip "10.0.0.1") (ip "10.0.0.2") = Mercator.Unresponsive)
+
+let test_prefixscan_31 () =
+  (* hop 10.0.0.9 on a /31 with mate .8; oracle confirms mate aliases prev. *)
+  let oracle m p =
+    if Ipv4.equal m (ip "10.0.0.8") && Ipv4.equal p (ip "192.0.2.1") then `Aliases
+    else `Not_aliases
+  in
+  match Prefixscan.scan oracle ~prev:(ip "192.0.2.1") ~hop:(ip "10.0.0.9") with
+  | Some r ->
+    Alcotest.(check int) "len" 31 r.Prefixscan.subnet_len;
+    Alcotest.(check string) "mate" "10.0.0.8" (Ipv4.to_string r.Prefixscan.mate)
+  | None -> Alcotest.fail "expected /31 inference"
+
+let test_prefixscan_30 () =
+  (* hop 10.0.0.6 (.5/.6 usable in .4/30): /31 mate is .7, /30 mate .5. *)
+  let oracle m p =
+    if Ipv4.equal m (ip "10.0.0.5") && Ipv4.equal p (ip "192.0.2.1") then `Aliases
+    else `Not_aliases
+  in
+  match Prefixscan.scan oracle ~prev:(ip "192.0.2.1") ~hop:(ip "10.0.0.6") with
+  | Some r -> Alcotest.(check int) "len 30" 30 r.Prefixscan.subnet_len
+  | None -> Alcotest.fail "expected /30 inference"
+
+let test_prefixscan_rejects () =
+  let oracle _ _ = `Not_aliases in
+  Alcotest.(check bool) "no inference" true
+    (Prefixscan.scan oracle ~prev:(ip "192.0.2.1") ~hop:(ip "10.0.0.6") = None)
+
+let test_prefixscan_direct_mate () =
+  (* prev is itself the /31 mate of hop: inbound confirmed trivially. *)
+  match Prefixscan.scan (fun _ _ -> `Unknown) ~prev:(ip "10.0.0.8") ~hop:(ip "10.0.0.9") with
+  | Some r -> Alcotest.(check string) "mate is prev" "10.0.0.8" (Ipv4.to_string r.Prefixscan.mate)
+  | None -> Alcotest.fail "expected direct mate"
+
+let test_graph_closure () =
+  let g = Ag.create () in
+  Ag.add_alias g (ip "10.0.0.1") (ip "10.0.0.2");
+  Ag.add_alias g (ip "10.0.0.2") (ip "10.0.0.3");
+  Alcotest.(check bool) "transitive" true (Ag.same_router g (ip "10.0.0.1") (ip "10.0.0.3"));
+  Alcotest.(check int) "one group of three" 3
+    (List.length (Ag.group_of g (ip "10.0.0.1")))
+
+let test_graph_negative_veto () =
+  let g = Ag.create () in
+  Ag.add_not_alias g (ip "10.0.0.1") (ip "10.0.0.3");
+  Ag.add_alias g (ip "10.0.0.1") (ip "10.0.0.2");
+  (* Positive evidence 2~3 would transitively merge 1 and 3 which is
+     vetoed; the union must be refused. *)
+  Ag.add_alias g (ip "10.0.0.2") (ip "10.0.0.3");
+  Alcotest.(check bool) "veto blocks merge" false
+    (Ag.same_router g (ip "10.0.0.1") (ip "10.0.0.3"));
+  Alcotest.(check bool) "first merge survived" true
+    (Ag.same_router g (ip "10.0.0.1") (ip "10.0.0.2"))
+
+let test_graph_groups () =
+  let g = Ag.create () in
+  Ag.add_alias g (ip "10.0.0.1") (ip "10.0.0.2");
+  Ag.add_alias g (ip "10.0.1.1") (ip "10.0.1.2");
+  Ag.add_not_alias g (ip "10.0.2.1") (ip "10.0.0.1");
+  let groups = Ag.groups g in
+  Alcotest.(check int) "three groups" 3 (List.length groups);
+  Alcotest.(check bool) "sizes" true
+    (List.sort compare (List.map List.length groups) = [ 1; 2; 2 ])
+
+let suite =
+  [ Alcotest.test_case "monotonic test" `Quick test_monotonic;
+    Alcotest.test_case "ally same router" `Quick test_ally_same_router;
+    Alcotest.test_case "ally different routers" `Quick test_ally_different_routers;
+    Alcotest.test_case "ally unresponsive" `Quick test_ally_unresponsive;
+    Alcotest.test_case "ally random ids" `Quick test_ally_random_ids_unusable;
+    Alcotest.test_case "ally repetition rejects" `Quick test_ally_repeat_rejects;
+    Alcotest.test_case "mercator" `Quick test_mercator;
+    Alcotest.test_case "prefixscan /31" `Quick test_prefixscan_31;
+    Alcotest.test_case "prefixscan /30" `Quick test_prefixscan_30;
+    Alcotest.test_case "prefixscan rejects" `Quick test_prefixscan_rejects;
+    Alcotest.test_case "prefixscan direct mate" `Quick test_prefixscan_direct_mate;
+    Alcotest.test_case "alias graph closure" `Quick test_graph_closure;
+    Alcotest.test_case "alias graph negative veto" `Quick test_graph_negative_veto;
+    Alcotest.test_case "alias graph groups" `Quick test_graph_groups ]

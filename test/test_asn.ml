@@ -1,0 +1,30 @@
+open Netcore
+
+let test_parse () =
+  Alcotest.(check (option int)) "plain" (Some 3356) (Asn.of_string "3356");
+  Alcotest.(check (option int)) "AS prefix" (Some 3356) (Asn.of_string "AS3356");
+  Alcotest.(check (option int)) "as prefix" (Some 174) (Asn.of_string "as174");
+  Alcotest.(check (option int)) "negative" None (Asn.of_string "-2");
+  Alcotest.(check (option int)) "garbage" None (Asn.of_string "ASX")
+
+let test_pp () =
+  Alcotest.(check string) "to_string" "AS65001" (Asn.to_string 65001)
+
+let test_most_frequent () =
+  Alcotest.(check (option int)) "simple majority" (Some 2)
+    (Asn.most_frequent [ 1; 2; 2; 3; 2; 1 ]);
+  Alcotest.(check (option int)) "tie -> smaller asn" (Some 1)
+    (Asn.most_frequent [ 2; 1; 2; 1 ]);
+  Alcotest.(check (option int)) "empty" None (Asn.most_frequent []);
+  Alcotest.(check (option int)) "singleton" (Some 7) (Asn.most_frequent [ 7 ])
+
+let test_counts () =
+  Alcotest.(check (list (pair int int))) "counts sorted by asn"
+    [ (1, 2); (2, 3); (3, 1) ]
+    (Asn.counts [ 2; 1; 2; 3; 2; 1 ])
+
+let suite =
+  [ Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "pretty print" `Quick test_pp;
+    Alcotest.test_case "most frequent" `Quick test_most_frequent;
+    Alcotest.test_case "counts" `Quick test_counts ]

@@ -1,0 +1,90 @@
+module Dns = Topogen.Dns
+module Gen = Topogen.Gen
+module Net = Topogen.Net
+
+let world = lazy (Gen.generate Topogen.Scenario.tiny)
+
+let dns = lazy (Dns.build (Lazy.force world).Gen.net ~seed:7)
+
+let test_coverage () =
+  let w = Lazy.force world in
+  let d = Lazy.force dns in
+  let total =
+    List.fold_left (fun n (_ : Net.link) -> n + 2) 0 (Net.links w.Gen.net)
+  in
+  let named = Dns.cardinal d in
+  Alcotest.(check bool)
+    (Printf.sprintf "named fraction plausible (%d/%d)" named total)
+    true
+    (float_of_int named >= 0.6 *. float_of_int total
+    && float_of_int named <= float_of_int total)
+
+let test_deterministic () =
+  let w = Lazy.force world in
+  let d1 = Dns.build w.Gen.net ~seed:7 in
+  let d2 = Dns.build w.Gen.net ~seed:7 in
+  List.iter
+    (fun (l : Net.link) ->
+      Alcotest.(check (option string)) "same name" (Dns.lookup d1 (snd l.Net.a))
+        (Dns.lookup d2 (snd l.Net.a)))
+    (Net.links w.Gen.net)
+
+let test_parse_city_roundtrip () =
+  let w = Lazy.force world in
+  let d = Lazy.force dns in
+  let checked = ref 0 and agree = ref 0 in
+  List.iter
+    (fun (l : Net.link) ->
+      List.iter
+        (fun (rid, addr) ->
+          match Dns.lookup d addr with
+          | None -> ()
+          | Some name -> (
+            match Dns.parse_city name with
+            | None -> Alcotest.failf "unparseable name %s" name
+            | Some city ->
+              incr checked;
+              let r = Net.router w.Gen.net rid in
+              if Topogen.Geo.equal_city city r.Net.city then incr agree))
+        [ l.Net.a; l.Net.b ])
+    (Net.links w.Gen.net);
+  Alcotest.(check bool) "names parsed" true (!checked > 50);
+  (* Mislabels exist but are rare. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mostly correct metros (%d/%d)" !agree !checked)
+    true
+    (float_of_int !agree >= 0.9 *. float_of_int !checked)
+
+let test_parse_asn () =
+  let w = Lazy.force world in
+  let d = Lazy.force dns in
+  List.iter
+    (fun (l : Net.link) ->
+      match Dns.lookup d (snd l.Net.a) with
+      | None -> ()
+      | Some name ->
+        let r = Net.router w.Gen.net (fst l.Net.a) in
+        Alcotest.(check (option int)) "asn embedded" (Some r.Net.owner)
+          (Dns.parse_asn name))
+    (Net.links w.Gen.net)
+
+let test_city_codes () =
+  Alcotest.(check string) "known code" "dal"
+    (Dns.city_code (Option.get (Topogen.Geo.city_named "Dallas")));
+  Alcotest.(check string) "nyc" "nyc"
+    (Dns.city_code (Option.get (Topogen.Geo.city_named "New York")));
+  let codes = Array.map Dns.city_code Topogen.Geo.us_cities in
+  Alcotest.(check int) "codes unique" (Array.length codes)
+    (List.length (List.sort_uniq compare (Array.to_list codes)))
+
+let test_parse_garbage () =
+  Alcotest.(check bool) "garbage yields none" true (Dns.parse_city "foo" = None);
+  Alcotest.(check bool) "no asn" true (Dns.parse_asn "a.b.c" = None)
+
+let suite =
+  [ Alcotest.test_case "coverage" `Quick test_coverage;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "parse city roundtrip" `Quick test_parse_city_roundtrip;
+    Alcotest.test_case "parse asn" `Quick test_parse_asn;
+    Alcotest.test_case "city codes" `Quick test_city_codes;
+    Alcotest.test_case "parse garbage" `Quick test_parse_garbage ]

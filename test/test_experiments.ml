@@ -1,0 +1,157 @@
+(* Small-scale smoke runs of every experiment: shapes and invariants
+   rather than exact values. *)
+
+let scale = 0.12
+
+let test_table1 () =
+  let rows = Experiments.Exp_table1.run ~scale () in
+  Alcotest.(check int) "three scenarios" 3 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Exp_table1.row) ->
+      Alcotest.(check bool)
+        (r.scenario ^ " coverage sane")
+        true
+        (r.table.Bdrmap.Report.coverage_pct >= 60.0
+        && r.table.Bdrmap.Report.coverage_pct <= 100.0))
+    rows
+
+let test_validation () =
+  let rows = Experiments.Exp_validation.run ~scale () in
+  Alcotest.(check bool) "six rows (4 scenarios, 3 large-access VPs)" true
+    (List.length rows = 6);
+  List.iter
+    (fun (r : Experiments.Exp_validation.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s accuracy %.1f" r.scenario r.vp_name
+           r.links.Bdrmap.Validate.pct_correct)
+        true
+        (r.links.Bdrmap.Validate.total > 5
+        && r.links.Bdrmap.Validate.pct_correct >= 60.0))
+    rows
+
+let test_fig14 () =
+  let t = Experiments.Exp_fig14.run ~scale () in
+  Alcotest.(check int) "19 vps" 19 t.n_vps;
+  Alcotest.(check bool) "prefixes measured" true (t.n_prefixes > 100);
+  Alcotest.(check bool) "cdf monotone" true
+    (let rec mono = function
+       | (_, f1) :: ((_, f2) :: _ as rest) -> f1 <= f2 +. 1e-9 && mono rest
+       | _ -> true
+     in
+     mono t.border_router_cdf);
+  (match List.rev t.border_router_cdf with
+  | (_, last) :: _ -> Alcotest.(check (float 0.001)) "cdf ends at 1" 1.0 last
+  | [] -> Alcotest.fail "empty cdf");
+  match t.remote with
+  | Some (single, _, _, _) ->
+    Alcotest.(check bool) "remote prefixes rarely single-exit" true (single < 10.0)
+  | None -> Alcotest.fail "no remote breakdown"
+
+let test_fig15 () =
+  let t = Experiments.Exp_fig15.run ~scale () in
+  Alcotest.(check bool) "series present" true (List.length t.series >= 4);
+  List.iter
+    (fun (s : Experiments.Exp_fig15.series) ->
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (s.neighbor ^ " cumulative nondecreasing") true
+        (nondecreasing s.cumulative);
+      Alcotest.(check bool) (s.neighbor ^ " bounded by truth") true
+        (List.for_all (fun c -> c <= s.total_links) s.cumulative))
+    t.series;
+  (* The Akamai-like CDN must be fully discovered from the first VP. *)
+  let akamai =
+    List.find
+      (fun (s : Experiments.Exp_fig15.series) ->
+        String.length s.neighbor >= 6 && String.sub s.neighbor 0 6 = "akamai")
+      t.series
+  in
+  Alcotest.(check int) "akamai-like from one VP" akamai.total_links
+    (List.hd akamai.cumulative);
+  (* The big peer needs many VPs: a single VP must not see everything. *)
+  let big = List.hd t.series in
+  Alcotest.(check bool) "level3-like needs several VPs" true
+    (List.hd big.cumulative < big.total_links)
+
+let test_fig16 () =
+  let t = Experiments.Exp_fig16.run ~scale () in
+  Alcotest.(check bool) "plots present" true (List.length t >= 2);
+  List.iter
+    (fun (p : Experiments.Exp_fig16.neighbor_plot) ->
+      Alcotest.(check int) "19 rows" 19 (List.length p.rows);
+      List.iter
+        (fun (row : Experiments.Exp_fig16.vp_row) ->
+          List.iter
+            (fun (m : Experiments.Exp_fig16.mark) ->
+              Alcotest.(check bool) "longitude in US range" true
+                (m.lon > -130.0 && m.lon < -60.0))
+            row.marks)
+        p.rows)
+    t
+
+let test_runtime () =
+  let rows = Experiments.Exp_runtime.run ~scale () in
+  Alcotest.(check int) "two scenarios" 2 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Exp_runtime.row) ->
+      Alcotest.(check bool) (r.scenario ^ " probes positive") true (r.probes > 0);
+      Alcotest.(check bool) (r.scenario ^ " stop sets save probes") true
+        (r.trace_probes <= r.probes_without_stopset))
+    rows
+
+let test_resource () =
+  let t = Experiments.Exp_resource.run ~scale () in
+  Alcotest.(check bool) "standalone exceeds whitebox" true
+    (not t.standalone_fits_whitebox);
+  Alcotest.(check bool) "split prober fits whitebox" true t.split_fits_whitebox;
+  Alcotest.(check bool) "controller holds the state" true
+    (t.split.Probesim.Remote.controller_bytes
+    > 10 * t.split.Probesim.Remote.device_bytes)
+
+let test_ablation () =
+  let t = Experiments.Exp_ablation.run ~scale () in
+  let full = List.hd t.heuristics in
+  Alcotest.(check string) "first row is full" "full" full.Experiments.Exp_ablation.label;
+  List.iter
+    (fun (r : Experiments.Exp_ablation.heuristic_row) ->
+      Alcotest.(check bool) (r.label ^ " links sane") true (r.links >= 0))
+    t.heuristics;
+  (* The classic proximity Ally must not be cleaner than the monotonic
+     discipline. *)
+  (match t.alias with
+  | prox :: _ :: mono5 :: _ ->
+    Alcotest.(check bool) "monotonic discipline at least as clean" true
+      (mono5.Experiments.Exp_ablation.false_alias_groups
+      <= prox.Experiments.Exp_ablation.false_alias_groups)
+  | _ -> Alcotest.fail "expected three alias rows");
+  (* Disabling the firewall heuristic must lose customer links. *)
+  let no_fw =
+    List.find
+      (fun (r : Experiments.Exp_ablation.heuristic_row) -> r.label = "no firewall (2)")
+      t.heuristics
+  in
+  Alcotest.(check bool) "firewall step carries links" true
+    (no_fw.links < full.Experiments.Exp_ablation.links);
+  (* The relationship refinement must help host-neighbor agreement. *)
+  match t.rels with
+  | [ refined; votes_only ] ->
+    (* At small scale the sparse collector view can cost the refinement a
+       couple of customer edges; it must stay in the same band (its real
+       benefit, fixing provider/peer inversions, is asserted at full
+       scale by the pipeline accuracy tests). *)
+    Alcotest.(check bool) "refinement within band" true
+      (refined.Experiments.Exp_ablation.agree
+      >= votes_only.Experiments.Exp_ablation.agree - 3)
+  | _ -> Alcotest.fail "expected two rel rows"
+
+let suite =
+  [ Alcotest.test_case "table1" `Slow test_table1;
+    Alcotest.test_case "validation" `Slow test_validation;
+    Alcotest.test_case "fig14" `Slow test_fig14;
+    Alcotest.test_case "fig15" `Slow test_fig15;
+    Alcotest.test_case "fig16" `Slow test_fig16;
+    Alcotest.test_case "runtime" `Slow test_runtime;
+    Alcotest.test_case "resource" `Slow test_resource;
+    Alcotest.test_case "ablation" `Slow test_ablation ]

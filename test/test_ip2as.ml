@@ -1,0 +1,78 @@
+open Netcore
+module B = Bgpdata
+
+let ip = Ipv4.of_string_exn
+
+let make () =
+  let rib =
+    Result.get_ok
+      (B.Rib.of_lines
+         [ "81.0.0.0/16|900 64500";
+           "81.128.0.0/16|900 64501";
+           "82.0.0.0/16|900 65001";
+           "83.0.0.0/16|900 65002";
+           "83.0.0.0/16|901 65003" ])
+  in
+  let dels =
+    Result.get_ok
+      (B.Delegation.of_lines
+         [ "sim|US|ipv4|81.0.0.0|65536|20160101|allocated|org-host";
+           "sim|US|ipv4|81.128.0.0|65536|20160101|allocated|org-host";
+           "sim|US|ipv4|87.0.0.0|65536|20160101|allocated|org-host";
+           "sim|US|ipv4|82.0.0.0|65536|20160101|allocated|org-a";
+           "sim|US|ipv4|88.0.0.0|65536|20160101|allocated|org-a" ])
+  in
+  let ixp = Result.get_ok (B.Ixp.of_lines [ "prefix|86.0.0.0/24|test-ix" ]) in
+  Bdrmap.Ip2as.create ~rib ~ixp ~delegations:dels
+    ~vp_asns:(Asn.Set.of_list [ 64500; 64501 ])
+
+let check t addr expected =
+  let show = function
+    | Bdrmap.Ip2as.Host -> "host"
+    | Bdrmap.Ip2as.External asns ->
+      "ext:" ^ String.concat "," (List.map string_of_int (Asn.Set.elements asns))
+    | Bdrmap.Ip2as.Ixp name -> "ixp:" ^ name
+    | Bdrmap.Ip2as.Unrouted -> "unrouted"
+    | Bdrmap.Ip2as.Reserved -> "reserved"
+  in
+  Alcotest.(check string) addr expected (show (Bdrmap.Ip2as.classify t (ip addr)))
+
+let test_basic () =
+  let t = make () in
+  check t "81.0.1.2" "host";
+  check t "81.128.0.1" "host";
+  check t "82.0.0.1" "ext:65001";
+  check t "83.0.0.1" "ext:65002,65003";
+  check t "86.0.0.5" "ixp:test-ix";
+  check t "89.0.0.1" "unrouted";
+  check t "192.168.1.1" "reserved";
+  check t "224.0.0.1" "reserved"
+
+let test_unrouted_host_delegation () =
+  (* 87.0.0.0/16 is not announced but delegated to the hosting org:
+     classified Host (§5.4.1 / fig-12 semantics). *)
+  let t = make () in
+  check t "87.0.0.1" "host";
+  (* 88.0.0.0/16 belongs to org-a but is unannounced: stays unrouted. *)
+  check t "88.0.0.1" "unrouted"
+
+let test_single_external () =
+  let t = make () in
+  Alcotest.(check (option int)) "single" (Some 65001)
+    (Bdrmap.Ip2as.single_external t (ip "82.0.0.1"));
+  Alcotest.(check (option int)) "moas has no single" None
+    (Bdrmap.Ip2as.single_external t (ip "83.0.0.1"));
+  Alcotest.(check (option int)) "host is not external" None
+    (Bdrmap.Ip2as.single_external t (ip "81.0.0.1"))
+
+let test_is_host () =
+  let t = make () in
+  Alcotest.(check bool) "host addr" true (Bdrmap.Ip2as.is_host t (ip "81.0.0.1"));
+  Alcotest.(check bool) "sibling addr" true (Bdrmap.Ip2as.is_host t (ip "81.128.0.1"));
+  Alcotest.(check bool) "external addr" false (Bdrmap.Ip2as.is_host t (ip "82.0.0.1"))
+
+let suite =
+  [ Alcotest.test_case "classification" `Quick test_basic;
+    Alcotest.test_case "unrouted host delegation" `Quick test_unrouted_host_delegation;
+    Alcotest.test_case "single external" `Quick test_single_external;
+    Alcotest.test_case "is_host" `Quick test_is_host ]

@@ -1,0 +1,77 @@
+open Netcore
+
+let ip = Ipv4.of_string_exn
+
+let check_ip msg expected actual =
+  Alcotest.(check string) msg expected (Ipv4.to_string actual)
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> check_ip s s (ip s))
+    [ "0.0.0.0"; "255.255.255.255"; "192.0.2.1"; "10.0.0.1"; "1.2.3.4"; "128.66.255.0" ]
+
+let test_parse_rejects () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" s) true (Ipv4.of_string s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "1.2.3.999"; "a.b.c.d"; "1..2.3"; "1.2.3.4 ";
+      " 1.2.3.4"; "1.2.3.4/24"; "-1.2.3.4"; "1.2.3.4." ]
+
+let test_octets () =
+  let a = Ipv4.of_octets 192 0 2 129 in
+  check_ip "octets build" "192.0.2.129" a;
+  Alcotest.(check (list int)) "octets split" [ 192; 0; 2; 129 ]
+    (let o1, o2, o3, o4 = Ipv4.to_octets a in
+     [ o1; o2; o3; o4 ])
+
+let test_arith () =
+  check_ip "succ" "192.0.2.2" (Ipv4.succ (ip "192.0.2.1"));
+  check_ip "succ carries" "192.0.3.0" (Ipv4.succ (ip "192.0.2.255"));
+  check_ip "succ saturates" "255.255.255.255" (Ipv4.succ Ipv4.broadcast);
+  check_ip "pred" "192.0.2.0" (Ipv4.pred (ip "192.0.2.1"));
+  check_ip "pred saturates" "0.0.0.0" (Ipv4.pred Ipv4.zero);
+  check_ip "add" "192.0.3.4" (Ipv4.add (ip "192.0.2.0") 260);
+  Alcotest.(check int) "diff" 260 (Ipv4.diff (ip "192.0.3.4") (ip "192.0.2.0"))
+
+let test_bits () =
+  let a = ip "128.0.0.1" in
+  Alcotest.(check bool) "msb" true (Ipv4.bit a 0);
+  Alcotest.(check bool) "bit 1" false (Ipv4.bit a 1);
+  Alcotest.(check bool) "lsb" true (Ipv4.bit a 31)
+
+let test_classes () =
+  Alcotest.(check bool) "10/8 private" true (Ipv4.private_use (ip "10.1.2.3"));
+  Alcotest.(check bool) "172.16 private" true (Ipv4.private_use (ip "172.16.0.1"));
+  Alcotest.(check bool) "172.32 public" false (Ipv4.private_use (ip "172.32.0.1"));
+  Alcotest.(check bool) "192.168 private" true (Ipv4.private_use (ip "192.168.255.1"));
+  Alcotest.(check bool) "loopback reserved" true (Ipv4.reserved (ip "127.0.0.1"));
+  Alcotest.(check bool) "multicast reserved" true (Ipv4.reserved (ip "224.0.0.1"));
+  Alcotest.(check bool) "class E reserved" true (Ipv4.reserved (ip "240.0.0.1"));
+  Alcotest.(check bool) "linklocal reserved" true (Ipv4.reserved (ip "169.254.0.1"));
+  Alcotest.(check bool) "unicast ok" false (Ipv4.reserved (ip "8.8.8.8"))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"ipv4 string roundtrip" ~count:500
+    QCheck.(int_bound 0xFFFFFFF |> map (fun i -> i * 16))
+    (fun i ->
+      let a = Ipv4.of_int i in
+      match Ipv4.of_string (Ipv4.to_string a) with
+      | Some b -> Ipv4.equal a b
+      | None -> false)
+
+let prop_succ_pred =
+  QCheck.Test.make ~name:"succ then pred is identity away from bounds" ~count:500
+    QCheck.(int_range 1 0xFFFFFFE)
+    (fun i ->
+      let a = Ipv4.of_int i in
+      Ipv4.equal a (Ipv4.pred (Ipv4.succ a)))
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "parse rejects malformed" `Quick test_parse_rejects;
+    Alcotest.test_case "octets" `Quick test_octets;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "bit extraction" `Quick test_bits;
+    Alcotest.test_case "address classes" `Quick test_classes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_succ_pred ]

@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "bdrmap"
+    [ ("ipv4", Test_ipv4.suite);
+      ("prefix", Test_prefix.suite);
+      ("ptrie", Test_ptrie.suite);
+      ("ipset", Test_ipset.suite);
+      ("rng", Test_rng.suite);
+      ("asn", Test_asn.suite);
+      ("rib", Test_rib.suite);
+      ("as_rel", Test_as_rel.suite);
+      ("rel_infer", Test_rel_infer.suite);
+      ("delegation", Test_delegation.suite);
+      ("ixp", Test_ixp.suite);
+      ("as2org", Test_as2org.suite);
+      ("topogen", Test_topogen.suite);
+      ("bgp_routing", Test_bgp_routing.suite);
+      ("forwarding", Test_forwarding.suite);
+      ("probesim", Test_probesim.suite);
+      ("alias", Test_alias.suite);
+      ("ip2as", Test_ip2as.suite);
+      ("targets", Test_targets.suite);
+      ("collect", Test_collect.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("experiments", Test_experiments.suite);
+      ("dns", Test_dns.suite);
+      ("output", Test_output.suite);
+      ("baselines", Test_baselines.suite);
+      ("radargun", Test_radargun.suite);
+      ("props", Test_props.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("tslp", Test_tslp.suite);
+      ("offload", Test_offload.suite);
+      ("scenarios", Test_scenarios.suite) ]

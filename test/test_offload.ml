@@ -1,0 +1,115 @@
+(* The §5.8 device/controller split: running collection through the
+   serialized offload channel must produce the same inference as the
+   local binding, with all bdrmap state on the controller side. *)
+
+module Gen = Topogen.Gen
+module Offload = Probesim.Offload
+open Netcore
+
+let test_request_roundtrip () =
+  let reqs =
+    [ Offload.Trace { flow = 3; dst = Ipv4.of_string_exn "1.2.3.4"; ttl = 7 };
+      Offload.Ping (Ipv4.of_string_exn "9.8.7.6");
+      Offload.Udp (Ipv4.of_string_exn "5.5.5.5");
+      Offload.Advance 300.0 ]
+  in
+  List.iter
+    (fun r ->
+      match Offload.request_of_line (Offload.request_to_line r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Offload.request_of_line "X|nope"))
+
+let test_response_roundtrip () =
+  let replies =
+    [ None;
+      Some
+        { Probesim.Engine.src = Ipv4.of_string_exn "1.2.3.4";
+          kind = Probesim.Engine.Ttl_expired; ipid = 4242; responder = 99 } ]
+  in
+  List.iter
+    (fun r ->
+      match Offload.response_of_line (Offload.response_to_line r) with
+      | Ok r' -> (
+        match (r, r') with
+        | None, None -> ()
+        | Some a, Some b ->
+          Alcotest.(check string) "src" (Ipv4.to_string a.Probesim.Engine.src)
+            (Ipv4.to_string b.Probesim.Engine.src);
+          Alcotest.(check int) "ipid" a.Probesim.Engine.ipid b.Probesim.Engine.ipid;
+          (* The responder identity must NOT cross the wire. *)
+          Alcotest.(check int) "responder hidden" (-1) b.Probesim.Engine.responder
+        | _ -> Alcotest.fail "mismatch")
+      | Error e -> Alcotest.fail e)
+    replies
+
+let test_offloaded_collection_equivalent () =
+  let w = Gen.generate Topogen.Scenario.tiny in
+  let vp = List.hd w.vps in
+  let mk () =
+    let bgp =
+      Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+        ~selective:w.Gen.selective
+    in
+    let fwd = Routing.Forwarding.create w.Gen.net bgp in
+    let engine = Probesim.Engine.create w fwd in
+    let inputs = Bdrmap.Pipeline.inputs_of_world w bgp in
+    (engine, inputs)
+  in
+  let collect prober inputs =
+    let cfg = Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns in
+    let ip2as =
+      Bdrmap.Ip2as.create ~rib:inputs.Bdrmap.Pipeline.rib ~ixp:inputs.Bdrmap.Pipeline.ixp
+        ~delegations:inputs.Bdrmap.Pipeline.delegations
+        ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns
+    in
+    let c = Bdrmap.Collect.run_with prober cfg ip2as
+        (Bdrmap.Targets.blocks ~rib:inputs.Bdrmap.Pipeline.rib
+           ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns) in
+    let g = Bdrmap.Rgraph.build c in
+    (c, g, Bdrmap.Heuristics.infer cfg ip2as ~rels:inputs.Bdrmap.Pipeline.rels g c)
+  in
+  let engine1, inputs1 = mk () in
+  let _, _, local = collect (Probesim.Prober.local engine1 ~vp) inputs1 in
+  let engine2, inputs2 = mk () in
+  let channel = Offload.Channel.create () in
+  let c2, _, remote = collect (Offload.remote channel engine2 ~vp) inputs2 in
+  let key (l : Bdrmap.Heuristics.border_link) =
+    (l.neighbor, Bdrmap.Heuristics.tag_label l.tag)
+  in
+  Alcotest.(check int) "same link count"
+    (List.length local.Bdrmap.Heuristics.links)
+    (List.length remote.Bdrmap.Heuristics.links);
+  Alcotest.(check bool) "same neighbor/tag multiset" true
+    (List.sort compare (List.map key local.Bdrmap.Heuristics.links)
+    = List.sort compare (List.map key remote.Bdrmap.Heuristics.links));
+  (* The channel actually carried the probing session. *)
+  Alcotest.(check bool) "messages flowed" true
+    (Offload.Channel.messages channel > List.length c2.Bdrmap.Collect.traces);
+  let kb_down = Offload.Channel.bytes_to_device channel / 1024 in
+  let kb_up = Offload.Channel.bytes_to_controller channel / 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "traffic accounted (%dKB down, %dKB up)" kb_down kb_up)
+    true
+    (kb_down > 10 && kb_up > 10)
+
+let test_serve_error_path () =
+  let w = Gen.generate Topogen.Scenario.tiny in
+  let bgp =
+    Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+      ~selective:w.Gen.selective
+  in
+  let fwd = Routing.Forwarding.create w.Gen.net bgp in
+  let engine = Probesim.Engine.create w fwd in
+  let vp = List.hd w.vps in
+  let resp = Offload.serve engine ~vp "garbage" in
+  Alcotest.(check bool) "error response" true (String.length resp > 1 && resp.[0] = 'E')
+
+let suite =
+  [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "offloaded collection equivalent" `Quick
+      test_offloaded_collection_equivalent;
+    Alcotest.test_case "serve error path" `Quick test_serve_error_path ]

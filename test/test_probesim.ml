@@ -1,0 +1,249 @@
+open Netcore
+module Net = Topogen.Net
+module Gen = Topogen.Gen
+module Engine = Probesim.Engine
+
+let setup = lazy (
+  let w = Gen.generate Topogen.Scenario.tiny in
+  let bgp =
+    Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+      ~selective:w.Gen.selective
+  in
+  let fwd = Routing.Forwarding.create w.Gen.net bgp in
+  (w, Engine.create w fwd))
+
+let vp (w : Gen.world) = List.hd w.vps
+
+let find_as_with_filter w f =
+  List.find_opt (fun (n : Net.as_node) -> n.Net.filter = f && n.Net.prefixes <> []) (Net.ases w.Gen.net)
+
+let test_traceroute_hops_are_real () =
+  let w, eng = Lazy.force setup in
+  let open_as = Option.get (find_as_with_filter w Net.Open) in
+  let dst = Ipv4.add (Prefix.first (List.hd open_as.Net.prefixes)) 1 in
+  let hops = Engine.traceroute eng ~vp:(vp w) ~dst () in
+  Alcotest.(check bool) "has hops" true (List.length hops > 2);
+  List.iter
+    (fun (h : Engine.hop) ->
+      match h.reply with
+      | None -> ()
+      | Some r ->
+        let router = Net.router w.Gen.net r.Engine.responder in
+        (* The reported source address must exist on the responding
+           router (canonical included). *)
+        Alcotest.(check bool) "src on responder" true
+          (List.exists (fun (i : Net.iface) -> Ipv4.equal i.Net.addr r.Engine.src) router.Net.ifaces
+          || router.Net.canonical = Some r.Engine.src
+          || Ipv4.equal r.Engine.src dst))
+    hops
+
+let test_first_hop_in_host_as () =
+  let w, eng = Lazy.force setup in
+  let open_as = Option.get (find_as_with_filter w Net.Open) in
+  let dst = Ipv4.add (Prefix.first (List.hd open_as.Net.prefixes)) 1 in
+  match Engine.traceroute eng ~vp:(vp w) ~dst () with
+  | { reply = Some r; _ } :: _ ->
+    Alcotest.(check int) "first responder in host AS" w.host_asn
+      (Net.router w.Gen.net r.Engine.responder).Net.owner
+  | _ -> Alcotest.fail "first hop silent"
+
+let test_firewalled_as_truncates () =
+  let w, eng = Lazy.force setup in
+  match find_as_with_filter w Net.Firewall with
+  | None -> ()  (* tiny world may lack one; other scenarios cover it *)
+  | Some node ->
+    let dst = Ipv4.add (Prefix.first (List.hd node.Net.prefixes)) 1 in
+    let hops = Engine.traceroute eng ~vp:(vp w) ~dst () in
+    let responders =
+      List.filter_map
+        (fun (h : Engine.hop) ->
+          Option.map (fun (r : Engine.reply) -> r.Engine.responder) h.reply)
+        hops
+    in
+    (* At most one responding router inside the firewalled AS (its
+       border), and no echo reply from the destination. *)
+    let inside =
+      List.filter
+        (fun rid -> Asn.equal (Net.router w.Gen.net rid).Net.owner node.Net.asn)
+        responders
+    in
+    Alcotest.(check bool) "at most the border responds" true
+      (List.length (List.sort_uniq compare inside) <= 1);
+    Alcotest.(check bool) "no echo reply" true
+      (List.for_all
+         (fun (h : Engine.hop) ->
+           match h.reply with
+           | Some { kind = Engine.Echo_reply; _ } -> false
+           | _ -> true)
+         hops)
+
+let test_silent_as_is_silent () =
+  let w, eng = Lazy.force setup in
+  match find_as_with_filter w Net.Silent with
+  | None -> ()
+  | Some node ->
+    let dst = Ipv4.add (Prefix.first (List.hd node.Net.prefixes)) 1 in
+    let hops = Engine.traceroute eng ~vp:(vp w) ~dst () in
+    List.iter
+      (fun (h : Engine.hop) ->
+        match h.reply with
+        | None -> ()
+        | Some r ->
+          Alcotest.(check bool) "no reply from silent AS" true
+            (not (Asn.equal (Net.router w.Gen.net r.Engine.responder).Net.owner node.Net.asn)))
+      hops
+
+let test_ping_echo () =
+  let w, eng = Lazy.force setup in
+  (* Ping a host-AS interface: must reply with src = probed addr. *)
+  let host_router =
+    List.find
+      (fun (r : Net.router) -> r.Net.behavior.echo && r.Net.ifaces <> [])
+      (Net.routers_of w.Gen.net w.host_asn)
+  in
+  let addr = (List.hd host_router.Net.ifaces).Net.addr in
+  match Engine.ping eng ~dst:addr with
+  | None -> Alcotest.fail "host router did not answer ping"
+  | Some r ->
+    Alcotest.(check string) "echo src is probed addr" (Ipv4.to_string addr)
+      (Ipv4.to_string r.Engine.src);
+    Alcotest.(check bool) "kind" true (r.Engine.kind = Engine.Echo_reply)
+
+let test_ping_unknown_addr () =
+  let _, eng = Lazy.force setup in
+  Alcotest.(check bool) "no reply from unassigned addr" true
+    (Engine.ping eng ~dst:(Ipv4.of_string_exn "203.0.113.99") = None)
+
+let test_udp_canonical () =
+  let w, eng = Lazy.force setup in
+  (* Find a router with Canonical udp mode and two interfaces: probing
+     both addrs yields the same source. *)
+  let candidate =
+    List.find_opt
+      (fun (r : Net.router) ->
+        r.Net.behavior.udp = Net.Canonical
+        && List.length r.Net.ifaces >= 2
+        && (Net.as_node w.Gen.net r.Net.owner).Net.filter = Net.Open)
+      (List.init (Net.router_count w.Gen.net) (Net.router w.Gen.net))
+  in
+  match candidate with
+  | None -> Alcotest.fail "no canonical-udp router in tiny world"
+  | Some r ->
+    let a = (List.nth r.Net.ifaces 0).Net.addr in
+    let b = (List.nth r.Net.ifaces 1).Net.addr in
+    let sa = Engine.udp_probe eng ~dst:a and sb = Engine.udp_probe eng ~dst:b in
+    (match (sa, sb) with
+    | Some ra, Some rb ->
+      Alcotest.(check string) "same canonical source" (Ipv4.to_string ra.Engine.src)
+        (Ipv4.to_string rb.Engine.src)
+    | _ -> Alcotest.fail "canonical router did not answer udp")
+
+let test_shared_counter_monotone () =
+  let w, eng = Lazy.force setup in
+  let candidate =
+    List.find
+      (fun (r : Net.router) ->
+        r.Net.behavior.ipid = Net.Shared_counter
+        && List.length r.Net.ifaces >= 2
+        && r.Net.behavior.echo
+        && (Net.as_node w.Gen.net r.Net.owner).Net.filter = Net.Open)
+      (List.init (Net.router_count w.Gen.net) (Net.router w.Gen.net))
+  in
+  let a = (List.nth candidate.Net.ifaces 0).Net.addr in
+  let b = (List.nth candidate.Net.ifaces 1).Net.addr in
+  let ids = ref [] in
+  for _ = 1 to 5 do
+    (match Engine.ping eng ~dst:a with
+    | Some r -> ids := r.Engine.ipid :: !ids
+    | None -> Alcotest.fail "ping a failed");
+    match Engine.ping eng ~dst:b with
+    | Some r -> ids := r.Engine.ipid :: !ids
+    | None -> Alcotest.fail "ping b failed"
+  done;
+  Alcotest.(check bool) "merged ids monotonic" true
+    (Aliasres.Ally.monotonic (List.rev !ids))
+
+let test_clock_advances () =
+  let w, eng = Lazy.force setup in
+  ignore w;
+  let t0 = Engine.now eng in
+  let c0 = Engine.probe_count eng in
+  ignore (Engine.ping eng ~dst:(Ipv4.of_string_exn "203.0.113.1"));
+  Alcotest.(check bool) "clock advanced" true (Engine.now eng > t0);
+  Alcotest.(check int) "probe counted" (c0 + 1) (Engine.probe_count eng);
+  Engine.advance eng 300.0;
+  Alcotest.(check bool) "manual advance" true (Engine.now eng >= t0 +. 300.0)
+
+let test_echo_reply_on_delivery () =
+  let w, eng = Lazy.force setup in
+  (* Traceroute to an actual interface of an open AS: the last hop must
+     be an echo reply sourced from the probed address. *)
+  let open_as =
+    List.find
+      (fun (n : Net.as_node) ->
+        n.Net.filter = Net.Open && n.Net.asn <> w.host_asn
+        && Net.routers_of w.Gen.net n.Net.asn <> [])
+      (Net.ases w.Gen.net)
+  in
+  let r =
+    List.find
+      (fun (r : Net.router) -> r.Net.behavior.echo && r.Net.ifaces <> [])
+      (Net.routers_of w.Gen.net open_as.Net.asn)
+  in
+  let dst = (List.hd r.Net.ifaces).Net.addr in
+  let hops = Engine.traceroute eng ~vp:(vp w) ~dst () in
+  match List.rev hops with
+  | { reply = Some { kind = Engine.Echo_reply; src; _ }; _ } :: _ ->
+    Alcotest.(check string) "echo src" (Ipv4.to_string dst) (Ipv4.to_string src)
+  | _ -> Alcotest.fail "no echo reply at path end"
+
+let test_paris_vs_classic () =
+  let w, eng = Lazy.force setup in
+  (* Paris keeps one flow per trace: repeated runs yield identical hop
+     sequences. Classic varies the flow per TTL and can mix equal-cost
+     path arms, creating adjacencies that no single packet ever took. *)
+  let dsts =
+    List.filter_map
+      (fun (n : Net.as_node) ->
+        match n.Net.prefixes with
+        | p :: _ when n.Net.asn <> w.host_asn -> Some (Ipv4.add (Prefix.first p) 1)
+        | _ -> None)
+      (Net.ases w.Gen.net)
+  in
+  let seq paris dst =
+    List.filter_map
+      (fun (h : Engine.hop) ->
+        Option.map (fun (r : Engine.reply) -> r.Engine.responder) h.reply)
+      (Engine.traceroute ~paris eng ~vp:(vp w) ~dst ())
+  in
+  List.iter
+    (fun dst ->
+      Alcotest.(check (list int)) "paris stable across runs" (seq true dst)
+        (seq true dst))
+    dsts;
+  (* At least one destination must show a flow-dependent internal path. *)
+  let bgp =
+    Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+      ~selective:w.Gen.selective
+  in
+  let fwd = Routing.Forwarding.create w.Gen.net bgp in
+  let rids flow dst =
+    List.map
+      (fun (s : Routing.Forwarding.step) -> s.Routing.Forwarding.rid)
+      (Routing.Forwarding.path ~flow fwd ~src_rid:(vp w).Gen.vp_rid ~dst ())
+  in
+  let flow_sensitive = List.exists (fun dst -> rids 1 dst <> rids 2 dst) dsts in
+  Alcotest.(check bool) "equal-cost diamonds exist" true flow_sensitive
+
+let suite =
+  [ Alcotest.test_case "traceroute hops are real" `Quick test_traceroute_hops_are_real;
+    Alcotest.test_case "paris vs classic" `Quick test_paris_vs_classic;
+    Alcotest.test_case "first hop in host AS" `Quick test_first_hop_in_host_as;
+    Alcotest.test_case "firewall truncates" `Quick test_firewalled_as_truncates;
+    Alcotest.test_case "silent AS is silent" `Quick test_silent_as_is_silent;
+    Alcotest.test_case "ping echo semantics" `Quick test_ping_echo;
+    Alcotest.test_case "ping unknown addr" `Quick test_ping_unknown_addr;
+    Alcotest.test_case "udp canonical source" `Quick test_udp_canonical;
+    Alcotest.test_case "shared counter monotone" `Quick test_shared_counter_monotone;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "echo reply on delivery" `Quick test_echo_reply_on_delivery ]

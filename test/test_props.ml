@@ -1,0 +1,172 @@
+(* Property-based tests over the core inference data structures. *)
+
+open Netcore
+module Ag = Aliasres.Alias_graph
+
+let addr_of_int i = Ipv4.of_int (0x51000000 + (i land 0xFFFF))
+
+(* Random op sequences over a small address universe. *)
+type op = Alias of int * int | Not_alias of int * int
+
+let op_gen =
+  QCheck.Gen.(
+    map3
+      (fun kind a b -> if kind then Alias (a, b) else Not_alias (a, b))
+      bool (int_bound 15) (int_bound 15))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Alias (a, b) -> Printf.sprintf "A%d-%d" a b
+             | Not_alias (a, b) -> Printf.sprintf "N%d-%d" a b)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+let apply ops =
+  let g = Ag.create () in
+  List.iter
+    (function
+      | Alias (a, b) -> Ag.add_alias g (addr_of_int a) (addr_of_int b)
+      | Not_alias (a, b) -> Ag.add_not_alias g (addr_of_int a) (addr_of_int b))
+    ops;
+  g
+
+let prop_vetoes_never_merged =
+  (* The documented contract: a veto recorded while the two addresses are
+     in different groups keeps them apart forever (vetoes never split
+     existing groups retroactively). *)
+  QCheck.Test.make ~name:"effective vetoes keep groups apart" ~count:300 arb_ops
+    (fun ops ->
+      let g = Ag.create () in
+      let effective = ref [] in
+      List.iter
+        (function
+          | Alias (a, b) -> Ag.add_alias g (addr_of_int a) (addr_of_int b)
+          | Not_alias (a, b) ->
+            if not (Ag.same_router g (addr_of_int a) (addr_of_int b)) then
+              effective := (a, b) :: !effective;
+            Ag.add_not_alias g (addr_of_int a) (addr_of_int b))
+        ops;
+      List.for_all
+        (fun (a, b) -> not (Ag.same_router g (addr_of_int a) (addr_of_int b)))
+        !effective)
+
+let prop_groups_partition =
+  QCheck.Test.make ~name:"groups form a partition" ~count:300 arb_ops (fun ops ->
+      let g = apply ops in
+      let groups = Ag.groups g in
+      let all = List.concat groups in
+      let uniq = List.sort_uniq Ipv4.compare all in
+      List.length all = List.length uniq
+      && List.for_all
+           (fun grp ->
+             List.for_all
+               (fun a -> List.for_all (fun b -> Ag.same_router g a b) grp)
+               grp)
+           groups)
+
+let prop_same_router_symmetric =
+  QCheck.Test.make ~name:"same_router is symmetric" ~count:300 arb_ops (fun ops ->
+      let g = apply ops in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Ag.same_router g (addr_of_int a) (addr_of_int b)
+              = Ag.same_router g (addr_of_int b) (addr_of_int a))
+            [ 0; 3; 7; 11 ])
+        [ 1; 5; 9; 14 ])
+
+(* As_rel text format round-trips arbitrary relationship graphs. *)
+let arb_rel_graph =
+  QCheck.make
+    ~print:(fun edges -> String.concat ";" (List.map (fun (a, b, k) ->
+        Printf.sprintf "%d-%d:%b" a b k) edges))
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (map3
+           (fun a b k -> (a + 1, a + 2 + b, k))
+           (int_bound 50) (int_bound 50) bool))
+
+let prop_as_rel_roundtrip =
+  QCheck.Test.make ~name:"as_rel text roundtrip" ~count:200 arb_rel_graph (fun edges ->
+      let t =
+        List.fold_left
+          (fun t (a, b, is_c2p) ->
+            if is_c2p then Bgpdata.As_rel.add_c2p t ~provider:a ~customer:b
+            else Bgpdata.As_rel.add_p2p t a b)
+          Bgpdata.As_rel.empty edges
+      in
+      match Bgpdata.As_rel.of_lines (Bgpdata.As_rel.to_lines t) with
+      | Error _ -> false
+      | Ok t' ->
+        Asn.Set.for_all
+          (fun a ->
+            Asn.Set.for_all
+              (fun b ->
+                Bgpdata.As_rel.rel t ~of_:a ~with_:b
+                = Bgpdata.As_rel.rel t' ~of_:a ~with_:b)
+              (Bgpdata.As_rel.asns t))
+          (Bgpdata.As_rel.asns t))
+
+(* Trace invariants. *)
+let arb_hops =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 0 12) (int_range 1 30))
+
+let prop_trace_pairs =
+  QCheck.Test.make ~name:"trace pairs length and order" ~count:300 arb_hops (fun ttls ->
+      let ttls = List.sort_uniq compare ttls in
+      let t =
+        { Bdrmap.Trace.dst = addr_of_int 999;
+          target_asn = 1;
+          hops = List.mapi (fun i ttl -> (ttl, addr_of_int i)) ttls;
+          closing = Bdrmap.Trace.Nothing;
+          stopped = false }
+      in
+      let pairs = Bdrmap.Trace.pairs t in
+      List.length pairs = max 0 (List.length ttls - 1)
+      && List.for_all
+           (fun (a, b, _) -> not (Ipv4.equal a b))
+           (List.filter (fun (a, b, _) -> not (Ipv4.equal a b)) pairs))
+
+(* Rib LPM agrees with a linear scan over its own prefixes. *)
+let prop_rib_lpm =
+  QCheck.Test.make ~name:"rib lpm agrees with scan" ~count:150
+    (QCheck.make
+       ~print:(fun l -> string_of_int (List.length l))
+       QCheck.Gen.(
+         list_size (int_range 1 25)
+           (map2
+              (fun a len -> (a land 0x00FFFFFF, 8 + (len mod 17)))
+              (int_bound 0xFFFFFF) (int_bound 16))))
+    (fun specs ->
+      let rib =
+        List.fold_left
+          (fun rib (a, len) ->
+            let p = Prefix.make (Ipv4.of_int (0x50000000 lor a)) len in
+            Bgpdata.Rib.add_route rib p [ 1; (a mod 97) + 2 ])
+          Bgpdata.Rib.empty specs
+      in
+      let probe = Ipv4.of_int (0x50000000 lor (fst (List.hd specs))) in
+      let expected =
+        Bgpdata.Rib.prefixes rib
+        |> List.filter (fun p -> Prefix.mem probe p)
+        |> List.sort (fun a b -> Int.compare (Prefix.len b) (Prefix.len a))
+      in
+      match (Bgpdata.Rib.lpm rib probe, expected) with
+      | None, [] -> true
+      | Some (p, _), best :: _ -> Prefix.len p = Prefix.len best
+      | _ -> false)
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_vetoes_never_merged;
+    QCheck_alcotest.to_alcotest prop_groups_partition;
+    QCheck_alcotest.to_alcotest prop_same_router_symmetric;
+    QCheck_alcotest.to_alcotest prop_as_rel_roundtrip;
+    QCheck_alcotest.to_alcotest prop_trace_pairs;
+    QCheck_alcotest.to_alcotest prop_rib_lpm ]

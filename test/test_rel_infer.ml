@@ -1,0 +1,79 @@
+open Netcore
+open Bgpdata
+
+(* A small hierarchy: 10 and 11 are Tier-1 peers; 20, 21 are transit
+   providers buying from them; 30-33 are stubs buying from 20/21; 34/36
+   buy directly from 10, 35/37 from 11. Collector paths are valley-free
+   routes seen at collectors peering with 10 and 11, so the Tier-1s have
+   the highest transit degree as in real collector data. *)
+let paths : As_path.t list =
+  [ [ 10; 20; 30 ];
+    [ 10; 20; 31 ];
+    [ 10; 34 ];
+    [ 10; 36 ];
+    [ 10; 11; 21; 32 ];
+    [ 10; 11; 21; 33 ];
+    [ 10; 11; 35 ];
+    [ 10; 11; 37 ];
+    [ 11; 21; 32 ];
+    [ 11; 21; 33 ];
+    [ 11; 35 ];
+    [ 11; 37 ];
+    [ 11; 10; 20; 30 ];
+    [ 11; 10; 20; 31 ];
+    [ 11; 10; 34 ];
+    [ 11; 10; 36 ];
+    [ 10; 20; 30; 30; 30 ];
+    (* prepended *)
+    [ 11; 21; 33 ] ]
+
+let test_transit_degree () =
+  let td = Rel_infer.transit_degree paths in
+  let deg a = Option.value ~default:0 (Asn.Map.find_opt a td) in
+  Alcotest.(check bool) "transit ASes have transit degree" true (deg 20 >= 3 && deg 21 >= 3);
+  Alcotest.(check int) "stub has zero transit degree" 0 (deg 30);
+  Alcotest.(check bool) "tier1 transits" true (deg 10 >= 2 && deg 11 >= 2)
+
+let test_clique () =
+  let clique = Rel_infer.infer_clique paths in
+  Alcotest.(check bool) "clique contains both tier1s" true
+    (Asn.Set.mem 10 clique && Asn.Set.mem 11 clique);
+  Alcotest.(check bool) "stubs not in clique" true
+    (not (Asn.Set.mem 30 clique || Asn.Set.mem 33 clique))
+
+let test_infer_relationships () =
+  let rels = Rel_infer.infer paths in
+  Alcotest.(check bool) "tier1s are peers" true (As_rel.is_peer rels 10 11);
+  Alcotest.(check bool) "20 customer of 10" true
+    (As_rel.is_provider_of rels ~provider:10 ~customer:20);
+  Alcotest.(check bool) "21 customer of 11" true
+    (As_rel.is_provider_of rels ~provider:11 ~customer:21);
+  Alcotest.(check bool) "30 customer of 20" true
+    (As_rel.is_provider_of rels ~provider:20 ~customer:30);
+  Alcotest.(check bool) "33 customer of 21" true
+    (As_rel.is_provider_of rels ~provider:21 ~customer:33);
+  Alcotest.(check bool) "no inverted relationship" false
+    (As_rel.is_provider_of rels ~provider:30 ~customer:20)
+
+let test_loops_dropped () =
+  let td = Rel_infer.transit_degree [ [ 1; 2; 1; 3 ] ] in
+  Alcotest.(check int) "looped path ignored" 0 (Asn.Map.cardinal td)
+
+let test_hidden_links_absent () =
+  (* A p2p link between 20 and 21 that never appears in collector paths
+     must be absent from the inference: this is the "hidden peer" input
+     condition that bdrmap's heuristic 5.5 handles downstream. *)
+  let rels = Rel_infer.infer paths in
+  Alcotest.(check bool) "hidden p2p absent" false (As_rel.known rels 20 21)
+
+let test_with_known_clique () =
+  let rels = Rel_infer.infer_with_clique (Asn.Set.of_list [ 10; 11 ]) paths in
+  Alcotest.(check bool) "same result with supplied clique" true (As_rel.is_peer rels 10 11)
+
+let suite =
+  [ Alcotest.test_case "transit degree" `Quick test_transit_degree;
+    Alcotest.test_case "clique inference" `Quick test_clique;
+    Alcotest.test_case "relationship inference" `Quick test_infer_relationships;
+    Alcotest.test_case "loops dropped" `Quick test_loops_dropped;
+    Alcotest.test_case "hidden links absent" `Quick test_hidden_links_absent;
+    Alcotest.test_case "supplied clique" `Quick test_with_known_clique ]

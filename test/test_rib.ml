@@ -1,0 +1,98 @@
+open Netcore
+open Bgpdata
+
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let sample () =
+  let lines =
+    [ "# collector snapshot";
+      "128.66.0.0/16|64500 64501 64510";
+      "128.66.0.0/16|64502 64510";
+      "128.66.2.0/24|64500 64501 64511";
+      "10.0.0.0/8|64500 64520";
+      "192.0.2.0/24|64502 64501 64530";
+      "192.0.2.0/24|64500 64531" ]
+  in
+  match Rib.of_lines lines with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_cardinal () = Alcotest.(check int) "prefixes" 4 (Rib.cardinal (sample ()))
+
+let test_origins () =
+  let t = sample () in
+  Alcotest.(check (list int)) "single origin" [ 64510 ]
+    (Asn.Set.elements (Rib.origins t (pfx "128.66.0.0/16")));
+  Alcotest.(check (list int)) "moas prefix" [ 64530; 64531 ]
+    (Asn.Set.elements (Rib.origins t (pfx "192.0.2.0/24")));
+  Alcotest.(check (list int)) "unknown prefix" []
+    (Asn.Set.elements (Rib.origins t (pfx "172.16.0.0/12")))
+
+let test_lpm () =
+  let t = sample () in
+  Alcotest.(check (list int)) "more specific wins" [ 64511 ]
+    (Asn.Set.elements (Rib.origin_asns t (ip "128.66.2.9")));
+  Alcotest.(check (list int)) "covering" [ 64510 ]
+    (Asn.Set.elements (Rib.origin_asns t (ip "128.66.3.9")));
+  Alcotest.(check (list int)) "unrouted" []
+    (Asn.Set.elements (Rib.origin_asns t (ip "8.8.8.8")))
+
+let test_size_window () =
+  let t = Rib.add_route Rib.empty (pfx "2.0.0.0/7") [ 64500; 1 ] in
+  let t = Rib.add_route t (pfx "1.0.0.0/25") [ 64500; 1 ] in
+  Alcotest.(check int) "outside /8-/24 ignored" 0 (Rib.cardinal t)
+
+let test_prefixes_originated_by () =
+  let t = sample () in
+  let ps =
+    Rib.prefixes_originated_by t (Asn.Set.singleton 64510) |> List.map Prefix.to_string
+  in
+  Alcotest.(check (list string)) "by origin" [ "128.66.0.0/16" ] ps;
+  let ps2 =
+    Rib.prefixes_originated_by t (Asn.Set.of_list [ 64530; 64520 ])
+    |> List.map Prefix.to_string
+  in
+  Alcotest.(check (list string)) "by origin set" [ "10.0.0.0/8"; "192.0.2.0/24" ] ps2
+
+let test_more_specifics () =
+  let t = sample () in
+  Alcotest.(check (list string)) "more specifics" [ "128.66.2.0/24" ]
+    (List.map Prefix.to_string (Rib.more_specifics t (pfx "128.66.0.0/16")))
+
+let test_roundtrip () =
+  let t = sample () in
+  match Rib.of_lines (Rib.to_lines t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+    Alcotest.(check int) "cardinal preserved" (Rib.cardinal t) (Rib.cardinal t');
+    List.iter
+      (fun p ->
+        Alcotest.(check (list int))
+          (Prefix.to_string p)
+          (Asn.Set.elements (Rib.origins t p))
+          (Asn.Set.elements (Rib.origins t' p)))
+      (Rib.prefixes t)
+
+let test_parse_errors () =
+  Alcotest.(check bool) "bad prefix" true
+    (Result.is_error (Rib.of_lines [ "999.0.0.0/16|1 2" ]));
+  Alcotest.(check bool) "bad path" true
+    (Result.is_error (Rib.of_lines [ "10.0.0.0/16|1 x" ]));
+  Alcotest.(check bool) "missing field" true (Result.is_error (Rib.of_lines [ "10.0.0.0/16" ]))
+
+let test_paths () =
+  let t = sample () in
+  Alcotest.(check int) "two paths kept" 2 (List.length (Rib.paths t (pfx "128.66.0.0/16")));
+  Alcotest.(check int) "all paths" 6 (List.length (Rib.all_paths t))
+
+let suite =
+  [ Alcotest.test_case "cardinal" `Quick test_cardinal;
+    Alcotest.test_case "origins" `Quick test_origins;
+    Alcotest.test_case "lpm" `Quick test_lpm;
+    Alcotest.test_case "size window" `Quick test_size_window;
+    Alcotest.test_case "prefixes by origin" `Quick test_prefixes_originated_by;
+    Alcotest.test_case "more specifics" `Quick test_more_specifics;
+    Alcotest.test_case "text roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "paths" `Quick test_paths ]

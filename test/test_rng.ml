@@ -1,0 +1,90 @@
+open Netcore
+
+let test_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000000) (Rng.int b 1000000)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "different seeds diverge" true (xs <> ys)
+
+let test_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.int parent 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int child 1000) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_bounds () =
+  let t = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 7 in
+    Alcotest.(check bool) "int in bounds" true (v >= 0 && v < 7);
+    let w = Rng.int_in t 10 12 in
+    Alcotest.(check bool) "int_in bounds" true (w >= 10 && w <= 12);
+    let f = Rng.float t in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_uniformity () =
+  let t = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 20000 in
+  for _ = 1 to n do
+    let v = Rng.int t 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (c > (n / 10) - 400 && c < (n / 10) + 400))
+    buckets
+
+let test_shuffle_permutation () =
+  let t = Rng.create 5 in
+  let l = List.init 50 Fun.id in
+  let s = Rng.shuffle t l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_sample () =
+  let t = Rng.create 5 in
+  let l = List.init 50 Fun.id in
+  let s = Rng.sample t 10 l in
+  Alcotest.(check int) "sample size" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  Alcotest.(check int) "oversample returns all" 50 (List.length (Rng.sample t 100 l))
+
+let test_weighted () =
+  let t = Rng.create 9 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10000 do
+    let v = Rng.weighted t [ (0.9, "a"); (0.1, "b") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let a = Option.value ~default:0 (Hashtbl.find_opt counts "a") in
+  Alcotest.(check bool) "weighted ratio" true (a > 8600 && a < 9400)
+
+let test_bool_p () =
+  let t = Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Rng.bool t ~p:0.25 then incr hits
+  done;
+  Alcotest.(check bool) "p=0.25" true (!hits > 2200 && !hits < 2800)
+
+let suite =
+  [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "uniformity" `Quick test_uniformity;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample" `Quick test_sample;
+    Alcotest.test_case "weighted pick" `Quick test_weighted;
+    Alcotest.test_case "bool with probability" `Quick test_bool_p ]

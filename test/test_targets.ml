@@ -1,0 +1,77 @@
+open Netcore
+module B = Bgpdata
+
+let ip = Ipv4.of_string_exn
+
+let rib =
+  Result.get_ok
+    (B.Rib.of_lines
+       [ "10.0.0.0/16|900 64500";
+         "128.66.0.0/16|900 65001";
+         "128.66.2.0/24|900 65002";
+         "30.0.0.0/24|900 65003";
+         "30.0.0.0/24|901 65004" ])
+
+let vp_asns = Asn.Set.singleton 64500
+
+let test_excludes_host () =
+  let blocks = Bdrmap.Targets.blocks ~rib ~vp_asns in
+  Alcotest.(check bool) "no host blocks" true
+    (List.for_all (fun (b : Bdrmap.Targets.block) -> b.target_asn <> 64500) blocks)
+
+let test_more_specific_carved () =
+  let blocks = Bdrmap.Targets.blocks ~rib ~vp_asns in
+  let for_65001 =
+    List.filter (fun (b : Bdrmap.Targets.block) -> b.target_asn = 65001) blocks
+  in
+  Alcotest.(check int) "two ranges around the /24" 2 (List.length for_65001);
+  List.iter
+    (fun (b : Bdrmap.Targets.block) ->
+      Alcotest.(check bool) "range avoids more specific" true
+        (Ipv4.compare b.last (ip "128.66.1.255") <= 0
+        || Ipv4.compare b.first (ip "128.66.3.0") >= 0))
+    for_65001;
+  let for_65002 =
+    List.filter (fun (b : Bdrmap.Targets.block) -> b.target_asn = 65002) blocks
+  in
+  Alcotest.(check int) "the /24 is its own block" 1 (List.length for_65002)
+
+let test_moas_attribution () =
+  let blocks = Bdrmap.Targets.blocks ~rib ~vp_asns in
+  let moas = List.filter (fun (b : Bdrmap.Targets.block) -> Prefix.mem b.first (Prefix.of_string_exn "30.0.0.0/24")) blocks in
+  Alcotest.(check int) "one block for the moas prefix" 1 (List.length moas);
+  Alcotest.(check int) "attributed to smallest origin" 65003
+    (List.hd moas).Bdrmap.Targets.target_asn
+
+let test_by_asn () =
+  let blocks = Bdrmap.Targets.blocks ~rib ~vp_asns in
+  let grouped = Bdrmap.Targets.by_asn blocks in
+  Alcotest.(check int) "three target ASes" 3 (List.length grouped);
+  List.iter
+    (fun (asn, bs) ->
+      List.iter
+        (fun (b : Bdrmap.Targets.block) ->
+          Alcotest.(check int) "group key matches" asn b.target_asn)
+        bs)
+    grouped
+
+let test_candidates () =
+  let b =
+    { Bdrmap.Targets.target_asn = 65001; first = ip "128.66.0.0"; last = ip "128.66.1.255" }
+  in
+  let cands = Bdrmap.Targets.candidates ~per_block:5 b in
+  Alcotest.(check (list string)) "starts at .1"
+    [ "128.66.0.1"; "128.66.0.2"; "128.66.0.3"; "128.66.0.4"; "128.66.0.5" ]
+    (List.map Ipv4.to_string cands);
+  let small =
+    { Bdrmap.Targets.target_asn = 65001; first = ip "10.0.0.0"; last = ip "10.0.0.2" }
+  in
+  Alcotest.(check int) "clipped to block" 2
+    (List.length (Bdrmap.Targets.candidates ~per_block:5 small))
+
+let suite =
+  [ Alcotest.test_case "excludes host blocks" `Quick test_excludes_host;
+    Alcotest.test_case "more specifics carved out" `Quick test_more_specific_carved;
+    Alcotest.test_case "moas attribution" `Quick test_moas_attribution;
+    Alcotest.test_case "grouping by asn" `Quick test_by_asn;
+    Alcotest.test_case "candidate addresses" `Quick test_candidates ]
