@@ -1,9 +1,13 @@
 (* Benchmark harness: regenerates every table and figure from the paper's
-   evaluation (one section per artifact), then times the pipeline stages
-   with bechamel.
+   evaluation (one section per artifact), times each experiment's
+   wall-clock, compares the multi-VP experiments at 1 vs N domains, and
+   times the pipeline stages with bechamel.
 
    Scale with BDRMAP_BENCH_SCALE (default 1.0 = paper-sized scenarios;
-   0.1-0.3 for a quick pass). *)
+   0.1-0.3 for a quick pass). Worker domains with BDRMAP_JOBS (default:
+   Domain.recommended_domain_count). Every number also lands in a
+   machine-readable BENCH.json (path override: BDRMAP_BENCH_OUT) so the
+   perf trajectory can be tracked across changes. *)
 
 open Bechamel
 open Toolkit
@@ -16,34 +20,80 @@ let scale =
     | _ -> 1.0)
   | None -> 1.0
 
+let jobs =
+  match Sys.getenv_opt "BDRMAP_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
 let banner title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
-let experiments () =
-  banner (Printf.sprintf "bdrmap evaluation reproduction (scale %.2f)" scale);
+(* Wall-clock timings collected for BENCH.json: (name, seconds). *)
+let wall_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  wall_times := (name, dt) :: !wall_times;
+  Printf.printf "[%s: %.2fs]\n%!" name dt;
+  r
+
+let experiments pool =
+  banner
+    (Printf.sprintf "bdrmap evaluation reproduction (scale %.2f, %d domains)" scale
+       jobs);
   banner "Table 1 (5.7): BGP coverage and heuristic breakdown";
-  Experiments.Exp_table1.print Format.std_formatter (Experiments.Exp_table1.run ~scale ());
+  timed "table1" (fun () ->
+      Experiments.Exp_table1.print Format.std_formatter
+        (Experiments.Exp_table1.run ~scale ()));
   banner "5.6: validation against ground truth";
-  Experiments.Exp_validation.print Format.std_formatter
-    (Experiments.Exp_validation.run ~scale ());
+  timed "validation" (fun () ->
+      Experiments.Exp_validation.print Format.std_formatter
+        (Experiments.Exp_validation.run ~scale ()));
   banner "Figure 14: border router / next-hop AS diversity";
-  Experiments.Exp_fig14.print Format.std_formatter (Experiments.Exp_fig14.run ~scale ());
+  timed "fig14" (fun () ->
+      Experiments.Exp_fig14.print Format.std_formatter
+        (Experiments.Exp_fig14.run ~scale ?pool ()));
   banner "Figure 15: marginal utility of VPs";
-  Experiments.Exp_fig15.print Format.std_formatter (Experiments.Exp_fig15.run ~scale ());
+  timed "fig15" (fun () ->
+      Experiments.Exp_fig15.print Format.std_formatter
+        (Experiments.Exp_fig15.run ~scale ?pool ()));
   banner "Figure 16: VP geography vs observed links";
-  Experiments.Exp_fig16.print Format.std_formatter (Experiments.Exp_fig16.run ~scale ());
+  timed "fig16" (fun () ->
+      Experiments.Exp_fig16.print Format.std_formatter
+        (Experiments.Exp_fig16.run ~scale ?pool ()));
   banner "5.3: run-time and stop-set ablation";
-  Experiments.Exp_runtime.print Format.std_formatter
-    (Experiments.Exp_runtime.run ~scale ());
+  timed "runtime" (fun () ->
+      Experiments.Exp_runtime.print Format.std_formatter
+        (Experiments.Exp_runtime.run ~scale ()));
   banner "5.8: resource-limited deployment";
-  Experiments.Exp_resource.print Format.std_formatter
-    (Experiments.Exp_resource.run ~scale ());
+  timed "resource" (fun () ->
+      Experiments.Exp_resource.print Format.std_formatter
+        (Experiments.Exp_resource.run ~scale ?pool ()));
   banner "Baseline comparison (3)";
-  Experiments.Exp_baselines.print Format.std_formatter
-    (Experiments.Exp_baselines.run ~scale ());
+  timed "baselines" (fun () ->
+      Experiments.Exp_baselines.print Format.std_formatter
+        (Experiments.Exp_baselines.run ~scale ()));
   banner "Design ablations";
-  Experiments.Exp_ablation.print Format.std_formatter
-    (Experiments.Exp_ablation.run ~scale ())
+  timed "ablation" (fun () ->
+      Experiments.Exp_ablation.print Format.std_formatter
+        (Experiments.Exp_ablation.run ~scale ()))
+
+(* The multi-VP experiments again, serial vs pooled, on a warm
+   environment (the world/engine cache makes the comparison about the
+   per-VP sweep, not world generation). *)
+let parallel_comparison pool =
+  banner (Printf.sprintf "Multi-VP wall-clock: 1 vs %d domains" jobs);
+  timed "fig14-j1" (fun () -> ignore (Experiments.Exp_fig14.run ~scale ()));
+  timed (Printf.sprintf "fig14-j%d" jobs) (fun () ->
+      ignore (Experiments.Exp_fig14.run ~scale ?pool ()));
+  timed "fig15-j1" (fun () -> ignore (Experiments.Exp_fig15.run ~scale ()));
+  timed (Printf.sprintf "fig15-j%d" jobs) (fun () ->
+      ignore (Experiments.Exp_fig15.run ~scale ?pool ()))
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the pipeline stages.                            *)
@@ -119,13 +169,27 @@ let test_ally =
            (Aliasres.Ally.trial sampler (Ipv4.of_string_exn "10.0.0.1")
               (Ipv4.of_string_exn "10.0.0.2") ~samples:4)))
 
+let test_aggregate_merge =
+  Test.make ~name:"aggregate-merge"
+    (Staged.stage (fun () ->
+         let _, _, _, _, _, vp, run = Lazy.force micro_env in
+         let vl =
+           Bdrmap.Aggregate.of_run vp.Gen.vp_name run.Bdrmap.Pipeline.graph
+             run.Bdrmap.Pipeline.inference
+         in
+         ignore (Bdrmap.Aggregate.merge [ vl; { vl with vp_name = "vp2" } ])))
+
+(* Micro-benchmark estimates collected for BENCH.json: (name, ns/run). *)
+let micro_times : (string * float) list ref = ref []
+
 let micro () =
   banner "Micro-benchmarks (bechamel)";
   (* Force shared state before timing. *)
   ignore (Lazy.force micro_env);
   let tests =
     [ test_ptrie_lpm; test_targets; test_bgp_route; test_forwarding_path;
-      test_traceroute; test_heuristics; test_rel_infer; test_ally ]
+      test_traceroute; test_heuristics; test_rel_infer; test_ally;
+      test_aggregate_merge ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -141,12 +205,59 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "%-24s %12.1f ns/run\n%!" name est
+          | Some (est :: _) ->
+            micro_times := (name, est) :: !micro_times;
+            Printf.printf "%-24s %12.1f ns/run\n%!" name est
           | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
         analyzed)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: the machine-readable record of this run.                *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path =
+  let oc = open_out path in
+  let item fmt (name, v) = Printf.sprintf fmt (json_escape name) v in
+  let block key fmt entries =
+    Printf.sprintf "  %S: [\n%s\n  ]" key
+      (String.concat ",\n" (List.map (fun e -> "    " ^ item fmt e) entries))
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"bdrmap-bench/1\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s\n}\n"
+    scale jobs
+    (block "experiments" "{\"name\": \"%s\", \"wall_s\": %.6f}" (List.rev !wall_times))
+    (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
-  experiments ();
-  micro ();
-  banner "done"
+  let finish () =
+    let out = Option.value ~default:"BENCH.json" (Sys.getenv_opt "BDRMAP_BENCH_OUT") in
+    write_bench_json out;
+    banner "done"
+  in
+  if jobs = 1 then begin
+    experiments None;
+    micro ();
+    finish ()
+  end
+  else
+    Netcore.Pool.with_pool ~domains:jobs (fun pool ->
+        let pool = Some pool in
+        experiments pool;
+        parallel_comparison pool;
+        micro ();
+        finish ())

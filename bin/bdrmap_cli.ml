@@ -40,6 +40,33 @@ let vp_arg =
     value & opt int 0
     & info [ "vp" ] ~docv:"I" ~doc:"Vantage point index (default 0).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:(Cmd.Env.info "BDRMAP_JOBS")
+        ~doc:
+          "Worker domains for multi-VP work (0 = one per recommended core). \
+           Results are byte-identical whatever the value; only wall-clock \
+           changes.")
+
+(* 0 (or negative) means auto: one domain per core the runtime
+   recommends. A pool is only spun up when it can actually help. *)
+let resolve_jobs n = if n >= 1 then n else max 1 (Domain.recommended_domain_count ())
+
+let with_jobs n f =
+  let n = resolve_jobs n in
+  if n = 1 then f None
+  else Netcore.Pool.with_pool ~domains:n (fun pool -> f (Some pool))
+
+let all_vps_arg =
+  Arg.(
+    value & flag
+    & info [ "all-vps" ]
+        ~doc:
+          "Run the pipeline from every vantage point (in parallel under \
+           --jobs) and merge the per-VP inferences into one border map.")
+
 let out_arg =
   Arg.(
     value & opt (some string) None
@@ -95,10 +122,48 @@ let pick_vp (world : Gen.world) i =
   | Some vp -> vp
   | None -> failwith (Printf.sprintf "vp index %d out of range (%d VPs)" i (List.length world.vps))
 
+(* run --all-vps: the deployed-system mode — every VP's pipeline on the
+   domain pool, merged into one network-wide border map. *)
+let run_all_vps world inputs pool =
+  let vps = world.Gen.vps in
+  let domains = match pool with Some p -> Netcore.Pool.size p | None -> 1 in
+  Printf.printf "running bdrmap from %d VPs on %d domain%s...\n%!" (List.length vps)
+    domains
+    (if domains = 1 then "" else "s");
+  let t0 = Unix.gettimeofday () in
+  let runs = Bdrmap.Pipeline.execute_all ?pool world inputs ~vps in
+  let merged =
+    Bdrmap.Aggregate.merge_runs ?pool
+      (List.map2
+         (fun (vp : Gen.vp) (r : Bdrmap.Pipeline.run) ->
+           (vp.Gen.vp_name, r.Bdrmap.Pipeline.graph, r.Bdrmap.Pipeline.inference))
+         vps runs)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%d merged links across %d VPs in %.1fs\n" (List.length merged)
+    (List.length vps) dt;
+  let by_neighbor = Bdrmap.Aggregate.per_neighbor merged in
+  List.iteri
+    (fun i (asn, n) ->
+      if i < 15 then Printf.printf "  AS%-8d %4d link%s\n" asn n (if n = 1 then "" else "s"))
+    by_neighbor;
+  if List.length by_neighbor > 15 then
+    Printf.printf "  ... and %d more neighbors\n" (List.length by_neighbor - 15);
+  let mu =
+    Bdrmap.Aggregate.marginal_utility
+      ~vp_order:(List.map (fun (vp : Gen.vp) -> vp.Gen.vp_name) vps)
+      merged
+  in
+  Printf.printf "cumulative links by #VPs:";
+  List.iter (Printf.printf " %d") mu;
+  print_newline ()
+
 (* run: the full pipeline, with validation and Table-1 reporting. *)
-let run scenario scale seed vp_idx out =
+let run scenario scale seed vp_idx out all_vps jobs =
   let params = params_of scenario scale seed in
   let world, engine, inputs = setup_env params in
+  if all_vps then with_jobs jobs (run_all_vps world inputs)
+  else
   let vp = pick_vp world vp_idx in
   Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
   let r = Bdrmap.Pipeline.execute engine inputs ~vp in
@@ -143,25 +208,26 @@ let infer scenario scale seed collection_file =
       (List.length inf.links) (List.length c.traces)
 
 (* experiments: regenerate the paper's tables and figures. *)
-let experiments scale names =
-  let all =
-    [ ("table1", fun () -> Exp_print.table1 scale);
-      ("validation", fun () -> Exp_print.validation scale);
-      ("fig14", fun () -> Exp_print.fig14 scale);
-      ("fig15", fun () -> Exp_print.fig15 scale);
-      ("fig16", fun () -> Exp_print.fig16 scale);
-      ("runtime", fun () -> Exp_print.runtime scale);
-      ("resource", fun () -> Exp_print.resource scale);
-      ("baselines", fun () -> Exp_print.baselines scale);
-      ("ablation", fun () -> Exp_print.ablation scale) ]
-  in
-  let chosen =
-    match names with
-    | [] -> all
-    | names -> List.filter (fun (n, _) -> List.mem n names) all
-  in
-  if chosen = [] then prerr_endline "no matching experiments"
-  else List.iter (fun (_, f) -> f ()) chosen
+let experiments scale names jobs =
+  with_jobs jobs (fun pool ->
+      let all =
+        [ ("table1", fun () -> Exp_print.table1 scale);
+          ("validation", fun () -> Exp_print.validation scale);
+          ("fig14", fun () -> Exp_print.fig14 ?pool scale);
+          ("fig15", fun () -> Exp_print.fig15 ?pool scale);
+          ("fig16", fun () -> Exp_print.fig16 ?pool scale);
+          ("runtime", fun () -> Exp_print.runtime scale);
+          ("resource", fun () -> Exp_print.resource ?pool scale);
+          ("baselines", fun () -> Exp_print.baselines scale);
+          ("ablation", fun () -> Exp_print.ablation scale) ]
+      in
+      let chosen =
+        match names with
+        | [] -> all
+        | names -> List.filter (fun (n, _) -> List.mem n names) all
+      in
+      if chosen = [] then prerr_endline "no matching experiments"
+      else List.iter (fun (_, f) -> f ()) chosen)
 
 let generate_cmd =
   Cmd.v
@@ -170,8 +236,13 @@ let generate_cmd =
 
 let run_cmd =
   Cmd.v
-    (Cmd.info "run" ~doc:"Run the full bdrmap pipeline from a VP.")
-    Term.(const run $ scenario_arg $ scale_arg $ seed_arg $ vp_arg $ out_arg)
+    (Cmd.info "run"
+       ~doc:
+         "Run the full bdrmap pipeline from a VP (or from every VP with \
+          --all-vps, merged into one border map).")
+    Term.(
+      const run $ scenario_arg $ scale_arg $ seed_arg $ vp_arg $ out_arg
+      $ all_vps_arg $ jobs_arg)
 
 let infer_cmd =
   let collection_arg =
@@ -191,7 +262,7 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (default: all).")
-    Term.(const experiments $ scale_arg $ names_arg)
+    Term.(const experiments $ scale_arg $ names_arg $ jobs_arg)
 
 let main =
   Cmd.group

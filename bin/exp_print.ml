@@ -8,22 +8,25 @@ let validation scale =
   Experiments.Exp_validation.print Format.std_formatter
     (Experiments.Exp_validation.run ~scale ())
 
-let fig14 scale =
-  Experiments.Exp_fig14.print Format.std_formatter (Experiments.Exp_fig14.run ~scale ())
+let fig14 ?pool scale =
+  Experiments.Exp_fig14.print Format.std_formatter
+    (Experiments.Exp_fig14.run ~scale ?pool ())
 
-let fig15 scale =
-  Experiments.Exp_fig15.print Format.std_formatter (Experiments.Exp_fig15.run ~scale ())
+let fig15 ?pool scale =
+  Experiments.Exp_fig15.print Format.std_formatter
+    (Experiments.Exp_fig15.run ~scale ?pool ())
 
-let fig16 scale =
-  Experiments.Exp_fig16.print Format.std_formatter (Experiments.Exp_fig16.run ~scale ())
+let fig16 ?pool scale =
+  Experiments.Exp_fig16.print Format.std_formatter
+    (Experiments.Exp_fig16.run ~scale ?pool ())
 
 let runtime scale =
   Experiments.Exp_runtime.print Format.std_formatter
     (Experiments.Exp_runtime.run ~scale ())
 
-let resource scale =
+let resource ?pool scale =
   Experiments.Exp_resource.print Format.std_formatter
-    (Experiments.Exp_resource.run ~scale ())
+    (Experiments.Exp_resource.run ~scale ?pool ())
 
 let ablation scale =
   Experiments.Exp_ablation.print Format.std_formatter

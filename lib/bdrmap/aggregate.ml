@@ -28,15 +28,29 @@ let same_link (m : merged) (r : Output.link_record) =
     (not (Ipv4.Set.disjoint far m.far_addrs))
     && not (Ipv4.Set.disjoint near m.near_addrs)
 
+(* Merged links indexed by neighbor ASN: a record can only merge into an
+   entry with the same neighbor, so only that neighbor's entries are
+   scanned (newest first, matching the former whole-list scan order)
+   instead of every merged link so far.  [items] maps a first-seen index
+   to the current state of that merged link, which keeps the output
+   order identical to the append-only list it replaces. *)
 let merge runs =
-  let acc : merged list ref = ref [] in
+  let items : (int, merged) Hashtbl.t = Hashtbl.create 256 in
+  let by_neighbor : (Asn.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  let n = ref 0 in
   List.iter
     (fun run ->
       List.iter
         (fun (r : Output.link_record) ->
-          match List.find_opt (fun m -> same_link m r) !acc with
-          | Some m ->
-            let m' =
+          let candidates =
+            Option.value ~default:[] (Hashtbl.find_opt by_neighbor r.Output.neighbor)
+          in
+          match
+            List.find_opt (fun i -> same_link (Hashtbl.find items i) r) candidates
+          with
+          | Some i ->
+            let m = Hashtbl.find items i in
+            Hashtbl.replace items i
               { m with
                 near_addrs =
                   Ipv4.Set.union m.near_addrs (Ipv4.Set.of_list r.Output.near_addrs);
@@ -48,19 +62,29 @@ let merge runs =
                 seen_by =
                   (if List.mem run.vp_name m.seen_by then m.seen_by
                    else m.seen_by @ [ run.vp_name ]) }
-            in
-            acc := List.map (fun x -> if x == m then m' else x) !acc
           | None ->
-            acc :=
+            Hashtbl.replace items !n
               { near_addrs = Ipv4.Set.of_list r.Output.near_addrs;
                 far_addrs = Ipv4.Set.of_list r.Output.far_addrs;
                 neighbor = r.Output.neighbor;
                 tags = [ r.Output.tag ];
-                seen_by = [ run.vp_name ] }
-              :: !acc)
+                seen_by = [ run.vp_name ] };
+            Hashtbl.replace by_neighbor r.Output.neighbor (!n :: candidates);
+            incr n)
         run.links)
     runs;
-  List.rev !acc
+  List.init !n (fun i -> Hashtbl.find items i)
+
+(* Extracting per-VP link sets round-trips each run through the output
+   text format — independent work, so it parallelizes per VP.  Order is
+   preserved either way. *)
+let of_runs ?pool runs =
+  let extract (vp_name, graph, result) = of_run vp_name graph result in
+  match pool with
+  | None -> List.map extract runs
+  | Some pool -> Pool.map pool extract runs
+
+let merge_runs ?pool runs = merge (of_runs ?pool runs)
 
 let per_neighbor merged =
   let tbl = Asn.Tbl.create 32 in
@@ -76,11 +100,15 @@ let per_neighbor merged =
          | c -> c)
 
 let marginal_utility ~vp_order merged =
+  (* Invert seen_by once (VP name -> merged indices) instead of scanning
+     every merged link's observer list for every VP. *)
+  let by_vp : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i m -> List.iter (fun vp -> Hashtbl.add by_vp vp i) m.seen_by)
+    merged;
   let seen = Hashtbl.create 64 in
   List.map
     (fun vp ->
-      List.iteri
-        (fun i m -> if List.mem vp m.seen_by then Hashtbl.replace seen i ())
-        merged;
+      List.iter (fun i -> Hashtbl.replace seen i ()) (Hashtbl.find_all by_vp vp);
       Hashtbl.length seen)
     vp_order

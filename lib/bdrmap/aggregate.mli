@@ -19,12 +19,23 @@ type merged = {
   seen_by : string list;  (** VPs that observed the link *)
 }
 
-(** [merge runs] combines per-VP link sets. *)
+(** [merge runs] combines per-VP link sets. Candidate links are indexed
+    by neighbor ASN, so merging is linear in the total number of link
+    records rather than quadratic. *)
 val merge : vp_links list -> merged list
 
 (** [of_run vp_name graph result] extracts a {!vp_links} from a pipeline
     run. *)
 val of_run : string -> Rgraph.t -> Heuristics.result -> vp_links
+
+(** [of_runs ?pool runs] extracts every VP's link set, on the pool's
+    worker domains when one is given; results stay in [runs] order. *)
+val of_runs : ?pool:Pool.t -> (string * Rgraph.t * Heuristics.result) list -> vp_links list
+
+(** [merge_runs ?pool runs] is [merge (of_runs ?pool runs)] — the
+    multi-VP merge entry point used by the deployed system. *)
+val merge_runs :
+  ?pool:Pool.t -> (string * Rgraph.t * Heuristics.result) list -> merged list
 
 (** [per_neighbor merged] is the link count per neighbor AS, sorted by
     descending count. *)

@@ -151,14 +151,23 @@ let candidate_pairs cfg traces =
     end
   in
   let preds = Hashtbl.create 4096 and succs = Hashtbl.create 4096 in
+  (* Membership goes through an (addr, addr) edge table: the per-address
+     lists stay in first-seen order (the pair-generation order below
+     depends on it) but the dedup is O(1) instead of a scan of the list,
+     which grows long around heavily shared hops. *)
+  let succ_seen = Hashtbl.create 4096 and pred_seen = Hashtbl.create 4096 in
+  let note_adj tbl edge_seen k v =
+    if not (Hashtbl.mem edge_seen (k, v)) then begin
+      Hashtbl.add edge_seen (k, v) ();
+      Hashtbl.replace tbl k (v :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+    end
+  in
   List.iter
     (fun t ->
       List.iter
         (fun (a, b, _) ->
-          let cur = Option.value ~default:[] (Hashtbl.find_opt succs a) in
-          if not (List.exists (Ipv4.equal b) cur) then Hashtbl.replace succs a (b :: cur);
-          let cur = Option.value ~default:[] (Hashtbl.find_opt preds b) in
-          if not (List.exists (Ipv4.equal a) cur) then Hashtbl.replace preds b (a :: cur))
+          note_adj succs succ_seen a b;
+          note_adj preds pred_seen b a)
         (Trace.pairs t))
     traces;
   let all_pairs l = List.iteri (fun i a -> List.iteri (fun j b -> if j > i then note a b) l) l in

@@ -61,3 +61,35 @@ let setup ?(pps = 100.0) (w : Gen.world) =
   let engine = Engine.create ~pps w fwd in
   let inputs = inputs_of_world w bgp in
   (bgp, fwd, engine, inputs)
+
+(* Force the lazily built indices of the structures that parallel
+   vantage-point runs share read-only (the topology's adjacency arrays,
+   the delegation index), so no worker domain ever writes to them. *)
+let freeze_shared (w : Gen.world) inputs =
+  if Topogen.Net.router_count w.Gen.net > 0 then
+    ignore (Topogen.Net.neighbors w.Gen.net 0);
+  ignore (B.Delegation.find inputs.delegations Ipv4.zero)
+
+let execute_all ?cfg ?pool ?(pps = 100.0) (w : Gen.world) inputs ~vps =
+  let originated = Gen.originated w in
+  (* Each vantage point gets a private routing/probing stack: the BGP
+     route cache, forwarding memos and the engine's clock, probe
+     counter, path cache, RNG and IP-ID state are all mutable, so none
+     of them may be shared across domains.  A fresh engine per VP also
+     makes every VP's run independent of scheduling, which is what keeps
+     the output byte-identical whatever the pool size (including no pool
+     at all). *)
+  let run_vp vp =
+    let bgp =
+      Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated
+        ~selective:w.Gen.selective
+    in
+    let fwd = Routing.Forwarding.create w.Gen.net bgp in
+    let engine = Engine.create ~pps w fwd in
+    execute ?cfg engine inputs ~vp
+  in
+  match pool with
+  | None -> List.map run_vp vps
+  | Some pool ->
+    freeze_shared w inputs;
+    Pool.map pool run_vp vps

@@ -36,3 +36,23 @@ val execute : ?cfg:Config.t -> Engine.t -> inputs -> vp:Gen.vp -> run
     (bgp, forwarding, engine, inputs). *)
 val setup :
   ?pps:float -> Gen.world -> Routing.Bgp.t * Routing.Forwarding.t * Engine.t * inputs
+
+(** [execute_all ?pool w inputs ~vps] runs the full pipeline from every
+    vantage point in [vps], on [pool]'s worker domains when one is
+    given, and returns the runs in [vps] order.  Every VP gets a
+    private BGP cache / forwarding memo / probing engine (their mutable
+    state must never cross domains), so the result is byte-identical
+    whatever the pool size — parallelism only changes wall-clock. *)
+val execute_all :
+  ?cfg:Config.t ->
+  ?pool:Pool.t ->
+  ?pps:float ->
+  Gen.world ->
+  inputs ->
+  vps:Gen.vp list ->
+  run list
+
+(** [freeze_shared w inputs] forces the lazily built indices of the
+    structures parallel runs share read-only. Called automatically by
+    {!execute_all}; exposed for callers that fan out by hand. *)
+val freeze_shared : Gen.world -> inputs -> unit

@@ -27,6 +27,9 @@ let make ?(pps = 100.0) params =
 
 let run_vp env vp = Bdrmap.Pipeline.execute env.engine env.inputs ~vp
 
+let run_vps ?pool env vps =
+  Bdrmap.Pipeline.execute_all ?pool env.world env.inputs ~vps
+
 let org_of env asn =
   match Bgpdata.As2org.org_of env.world.Gen.as2org asn with
   | Some o -> o
@@ -42,9 +45,9 @@ let host_links_to env ~neighbor_org =
       || (String.equal ob host_org && String.equal oa neighbor_org))
     (Net.interdomain_links env.world.Gen.net)
 
-let crossing_link env ~vp ~dst =
+let crossing_link_via env fwd ~vp ~dst =
   let host_org = org_of env env.world.Gen.host_asn in
-  let steps = Routing.Forwarding.path env.fwd ~src_rid:vp.Gen.vp_rid ~dst () in
+  let steps = Routing.Forwarding.path fwd ~src_rid:vp.Gen.vp_rid ~dst () in
   List.find_map
     (fun (s : Routing.Forwarding.step) ->
       match s.Routing.Forwarding.in_link with
@@ -54,6 +57,36 @@ let crossing_link env ~vp ~dst =
         if String.equal oa host_org || String.equal ob host_org then Some l else None
       | _ -> None)
     steps
+
+let crossing_link env ~vp ~dst = crossing_link_via env env.fwd ~vp ~dst
+
+let crossing_links_by_vp ?pool env prefixes =
+  let w = env.world in
+  match pool with
+  | None ->
+    (* Serial path: share the environment's forwarding memos across
+       VPs, exactly as the experiments always have. *)
+    List.map
+      (fun vp -> List.map (fun (_, dst) -> crossing_link env ~vp ~dst) prefixes)
+      w.Gen.vps
+  | Some pool ->
+    Bdrmap.Pipeline.freeze_shared w env.inputs;
+    let originated = Gen.originated w in
+    (* Forwarding memos (IGP distances, egress choices) and the BGP
+       route cache are mutable, so each worker domain builds its own
+       stack once per batch and reuses it for all the VPs it draws.
+       Path computation is a pure function of the world, so the result
+       does not depend on which domain served which VP. *)
+    Netcore.Pool.map_init pool
+      ~init:(fun () ->
+        let bgp =
+          Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated
+            ~selective:w.Gen.selective
+        in
+        Routing.Forwarding.create w.Gen.net bgp)
+      (fun fwd vp ->
+        List.map (fun (_, dst) -> crossing_link_via env fwd ~vp ~dst) prefixes)
+      w.Gen.vps
 
 let external_prefixes env =
   let vp_asns = env.world.Gen.siblings in

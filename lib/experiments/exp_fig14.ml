@@ -25,7 +25,7 @@ let cdf_of counts =
   List.iteri (fun i v -> Hashtbl.replace tbl v (float_of_int (i + 1) /. float_of_int n)) sorted;
   Hashtbl.fold (fun v f acc -> (v, f) :: acc) tbl [] |> List.sort compare
 
-let run ?(scale = 1.0) () =
+let run ?(scale = 1.0) ?pool () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -35,16 +35,20 @@ let run ?(scale = 1.0) () =
   let host_org = Exp_common.org_of env w.Gen.host_asn in
   let prefixes = Exp_common.external_prefixes env in
   let truth = Gen.host_neighbor_truth w in
+  (* One crossing-link sweep per VP (domain-parallel under ?pool), then
+     a per-prefix pass over the per-VP columns in fixed VP order. *)
+  let per_vp =
+    List.map Array.of_list (Exp_common.crossing_links_by_vp ?pool env prefixes)
+  in
   let per_prefix =
-    List.map
-      (fun (p, dst) ->
-        ignore p;
+    List.mapi
+      (fun idx (p, _dst) ->
         let routers = ref [] and nexthops = ref Asn.Set.empty in
         List.iter
-          (fun vp ->
-            match Exp_common.crossing_link env ~vp ~dst with
+          (fun links ->
+            match links.(idx) with
             | None -> ()
-            | Some l ->
+            | Some (l : Net.link) ->
               let ra = Net.router w.Gen.net (fst l.Net.a) in
               let rb = Net.router w.Gen.net (fst l.Net.b) in
               let near, far =
@@ -53,7 +57,7 @@ let run ?(scale = 1.0) () =
               in
               routers := near.Net.rid :: !routers;
               nexthops := Asn.Set.add far.Net.owner !nexthops)
-          w.Gen.vps;
+          per_vp;
         let origins = Routing.Bgp.origins env.Exp_common.bgp p in
         let direct =
           Asn.Set.exists (fun o -> Asn.Map.mem o truth) origins

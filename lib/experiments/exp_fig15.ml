@@ -9,7 +9,9 @@ type series = {
 
 type t = { n_vps : int; series : series list }
 
-let run ?(scale = 1.0) () =
+module Int_set = Set.Make (Int)
+
+let run ?(scale = 1.0) ?pool () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -18,16 +20,13 @@ let run ?(scale = 1.0) () =
   let w = env.Exp_common.world in
   let prefixes = Exp_common.external_prefixes env in
   (* Links out of the host crossed from each VP, per neighbor org. *)
-  let links_seen_by vp =
-    List.fold_left
-      (fun acc (_, dst) ->
-        match Exp_common.crossing_link env ~vp ~dst with
-        | Some l -> l.Net.lid :: acc
-        | None -> acc)
-      [] prefixes
-    |> List.sort_uniq compare
+  let per_vp =
+    List.map
+      (fun links ->
+        List.filter_map (Option.map (fun (l : Net.link) -> l.Net.lid)) links
+        |> List.sort_uniq compare)
+      (Exp_common.crossing_links_by_vp ?pool env prefixes)
   in
-  let per_vp = List.map links_seen_by w.Gen.vps in
   let targets =
     (Printf.sprintf "level3-like (AS%d)" w.Gen.big_peer, Exp_common.org_of env w.Gen.big_peer)
     :: List.mapi
@@ -47,20 +46,25 @@ let run ?(scale = 1.0) () =
         let truth =
           List.map (fun (l : Net.link) -> l.Net.lid) (Exp_common.host_links_to env ~neighbor_org:org)
         in
-        let truth_set = List.sort_uniq compare truth in
+        let truth_set = Int_set.of_list truth in
+        (* Cumulative union over VPs as a set fold: the former
+           append/sort_uniq pair re-sorted the whole union per VP. *)
         let cumulative =
           List.rev
             (snd
                (List.fold_left
                   (fun (seen, acc) vp_links ->
                     let seen =
-                      List.sort_uniq compare
-                        (seen @ List.filter (fun l -> List.mem l truth_set) vp_links)
+                      List.fold_left
+                        (fun seen l ->
+                          if Int_set.mem l truth_set then Int_set.add l seen
+                          else seen)
+                        seen vp_links
                     in
-                    (seen, List.length seen :: acc))
-                  ([], []) per_vp))
+                    (seen, Int_set.cardinal seen :: acc))
+                  (Int_set.empty, []) per_vp))
         in
-        { neighbor = label; total_links = List.length truth_set; cumulative })
+        { neighbor = label; total_links = Int_set.cardinal truth_set; cumulative })
       targets
   in
   { n_vps = List.length w.Gen.vps; series }

@@ -6,7 +6,7 @@ type vp_row = { vp_name : string; vp_lon : float; marks : mark list }
 type neighbor_plot = { neighbor : string; rows : vp_row list; total_links : int }
 type t = neighbor_plot list
 
-let run ?(scale = 1.0) () =
+let run ?(scale = 1.0) ?pool () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -19,6 +19,11 @@ let run ?(scale = 1.0) () =
   let dns = Topogen.Dns.build w.Gen.net ~seed:params.Topogen.Gen.seed in
   let host_org = Exp_common.org_of env w.Gen.host_asn in
   let prefixes = Exp_common.external_prefixes env in
+  (* One crossing-link sweep per VP (domain-parallel under ?pool),
+     reused for every neighbor plot below. *)
+  let per_vp =
+    List.combine w.Gen.vps (Exp_common.crossing_links_by_vp ?pool env prefixes)
+  in
   let targets =
     (Printf.sprintf "level3-like (AS%d)" w.Gen.big_peer, Exp_common.org_of env w.Gen.big_peer)
     :: List.filteri
@@ -35,12 +40,12 @@ let run ?(scale = 1.0) () =
       let truth_ids = List.map (fun (l : Net.link) -> l.Net.lid) truth in
       let rows =
         List.map
-          (fun vp ->
+          (fun (vp, vp_links) ->
             let marks =
               List.fold_left
-                (fun acc (_, dst) ->
-                  match Exp_common.crossing_link env ~vp ~dst with
-                  | Some l when List.mem l.Net.lid truth_ids ->
+                (fun acc crossed ->
+                  match crossed with
+                  | Some (l : Net.link) when List.mem l.Net.lid truth_ids ->
                     if List.exists (fun m -> m.link_lid = l.Net.lid) acc then acc
                     else
                       let near, near_addr =
@@ -61,12 +66,12 @@ let run ?(scale = 1.0) () =
                         city = city.Topogen.Geo.name }
                       :: acc
                   | _ -> acc)
-                [] prefixes
+                [] vp_links
             in
             { vp_name = vp.Gen.vp_name;
               vp_lon = vp.Gen.vp_city.Topogen.Geo.lon;
               marks = List.sort (fun a b -> Float.compare a.lon b.lon) marks })
-          w.Gen.vps
+          per_vp
       in
       { neighbor = label; rows; total_links = List.length truth_ids })
     targets

@@ -6,10 +6,17 @@ type t = {
   split_fits_whitebox : bool;
 }
 
-let run ?(scale = 1.0) () =
+let run ?(scale = 1.0) ?pool () =
   let env = Exp_common.make (Topogen.Scenario.large_access ~scale ()) in
   let vp = List.hd env.Exp_common.world.Topogen.Gen.vps in
-  let r = Exp_common.run_vp env vp in
+  (* Footprints are sized from a real collection run; going through
+     execute_all gives the run a private engine so the numbers do not
+     depend on what other experiments probed before us. *)
+  let r =
+    match Exp_common.run_vps ?pool env [ vp ] with
+    | [ r ] -> r
+    | _ -> assert false
+  in
   let c = r.Bdrmap.Pipeline.collection in
   let trace_hops =
     List.fold_left (fun acc t -> acc + List.length t.Bdrmap.Trace.hops) 0 c.Bdrmap.Collect.traces

@@ -11,6 +11,16 @@ type terminal = Delivered | Sunk | Dropped
 
 type fpath = { steps : Fwd.step array; term : terminal }
 
+(* The forward-path cache uses two generations (a "young" and an "old"
+   table) instead of a wholesale [Hashtbl.reset] at capacity: inserts go
+   to young; when young fills, old is discarded and young is demoted.
+   Hot keys get promoted back into young on an old-generation hit, so a
+   working set up to [cache_gen_cap] entries is never thrown away, and
+   the total footprint stays bounded by two generations. *)
+let cache_gen_cap = 30_000
+
+type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
+
 type t = {
   w : Gen.world;
   fwd : Fwd.t;
@@ -20,13 +30,30 @@ type t = {
   rng : Rng.t;
   mutable clock : float;
   mutable probes : int;
-  paths : (int * Ipv4.t * int, fpath) Hashtbl.t;
+  mutable paths_young : (int * Ipv4.t * int, fpath) Hashtbl.t;
+  mutable paths_old : (int * Ipv4.t * int, fpath) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 let create ?(pps = 100.0) ?(rate_limit_p = 0.0) w fwd =
   { w; fwd; ipid = Ipid.create ~seed:w.Gen.params.Gen.seed; pps; rate_limit_p;
     rng = Rng.create (w.Gen.params.Gen.seed lxor 0x7e57); clock = 0.0; probes = 0;
-    paths = Hashtbl.create 4096 }
+    paths_young = Hashtbl.create 4096; paths_old = Hashtbl.create 16;
+    cache_hits = 0; cache_misses = 0; cache_evictions = 0 }
+
+let stats t =
+  { hits = t.cache_hits; misses = t.cache_misses; evictions = t.cache_evictions;
+    entries = Hashtbl.length t.paths_young + Hashtbl.length t.paths_old }
+
+let cache_insert t key p =
+  if Hashtbl.length t.paths_young >= cache_gen_cap then begin
+    t.cache_evictions <- t.cache_evictions + Hashtbl.length t.paths_old;
+    t.paths_old <- t.paths_young;
+    t.paths_young <- Hashtbl.create 4096
+  end;
+  Hashtbl.add t.paths_young key p
 
 let world t = t.w
 let now t = t.clock
@@ -64,10 +91,19 @@ let truncate_at_filters t src_rid steps =
 
 let fpath t ~src_rid ~dst ~flow =
   let key = (src_rid, dst, flow) in
-  match Hashtbl.find_opt t.paths key with
-  | Some p -> p
+  match Hashtbl.find_opt t.paths_young key with
+  | Some p ->
+    t.cache_hits <- t.cache_hits + 1;
+    p
   | None ->
-    if Hashtbl.length t.paths > 60_000 then Hashtbl.reset t.paths;
+  match Hashtbl.find_opt t.paths_old key with
+  | Some p ->
+    t.cache_hits <- t.cache_hits + 1;
+    Hashtbl.remove t.paths_old key;
+    cache_insert t key p;
+    p
+  | None ->
+    t.cache_misses <- t.cache_misses + 1;
     let raw = Fwd.path ~flow t.fwd ~src_rid ~dst () in
     let kept, filtered = truncate_at_filters t src_rid raw in
     let term =
@@ -95,7 +131,7 @@ let fpath t ~src_rid ~dst ~flow =
         | Fwd.Forward _ | Fwd.Unreachable -> Dropped)
     in
     let p = { steps = Array.of_list kept; term } in
-    Hashtbl.add t.paths key p;
+    cache_insert t key p;
     p
 
 (* Source-address selection for TTL-expired and unreachable messages. *)

@@ -32,6 +32,18 @@ val advance : t -> float -> unit
 val probe_count : t -> int
 val pps : t -> float
 
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries discarded by generation rotation *)
+  entries : int;  (** currently cached forward paths (both generations) *)
+}
+
+(** Forward-path cache counters. The cache keeps two bounded
+    generations and rotates instead of resetting, so the hot working
+    set survives collection-long runs. *)
+val stats : t -> cache_stats
+
 type icmp_kind = Ttl_expired | Echo_reply | Dest_unreach
 
 type reply = { src : Ipv4.t; kind : icmp_kind; ipid : int; responder : int }

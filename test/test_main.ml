@@ -31,4 +31,5 @@ let () =
       ("aggregate", Test_aggregate.suite);
       ("tslp", Test_tslp.suite);
       ("offload", Test_offload.suite);
-      ("scenarios", Test_scenarios.suite) ]
+      ("scenarios", Test_scenarios.suite);
+      ("pool", Test_pool.suite) ]
