@@ -83,6 +83,18 @@ let experiments pool =
       Experiments.Exp_ablation.print Format.std_formatter
         (Experiments.Exp_ablation.run ~scale ()))
 
+(* Robustness sweep: accuracy under injected measurement faults, one row
+   per impairment level. Rows are kept for BENCH.json so accuracy-vs-
+   impairment is tracked across changes like wall-clock is. *)
+let robustness_rows : Experiments.Exp_robustness.row list ref = ref []
+
+let robustness () =
+  banner "Robustness: accuracy under injected measurement faults";
+  timed "robustness" (fun () ->
+      let rows = Experiments.Exp_robustness.run ~scale () in
+      robustness_rows := rows;
+      Experiments.Exp_robustness.print Format.std_formatter rows)
+
 (* The multi-VP experiments again, serial vs pooled, on a warm
    environment (the world/engine cache makes the comparison about the
    per-VP sweep, not world generation). *)
@@ -235,10 +247,26 @@ let write_bench_json path =
     Printf.sprintf "  %S: [\n%s\n  ]" key
       (String.concat ",\n" (List.map (fun e -> "    " ^ item fmt e) entries))
   in
+  let robustness_block =
+    let row (r : Experiments.Exp_robustness.row) =
+      Printf.sprintf
+        "    {\"intensity\": %g, \"links_pct\": %.2f, \"routers_pct\": %.2f, \
+         \"coverage_pct\": %.2f, \"probes\": %d, \"overhead_pct\": %.2f}"
+        r.Experiments.Exp_robustness.intensity
+        r.Experiments.Exp_robustness.links.Bdrmap.Validate.pct_correct
+        r.Experiments.Exp_robustness.routers.Bdrmap.Validate.pct_correct
+        r.Experiments.Exp_robustness.coverage_pct
+        r.Experiments.Exp_robustness.probes
+        r.Experiments.Exp_robustness.overhead_pct
+    in
+    Printf.sprintf "  \"robustness\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row !robustness_rows))
+  in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/1\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s\n}\n"
+    "{\n  \"schema\": \"bdrmap-bench/2\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s\n}\n"
     scale jobs
     (block "experiments" "{\"name\": \"%s\", \"wall_s\": %.6f}" (List.rev !wall_times))
+    robustness_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -251,6 +279,7 @@ let () =
   in
   if jobs = 1 then begin
     experiments None;
+    robustness ();
     micro ();
     finish ()
   end
@@ -258,6 +287,7 @@ let () =
     Netcore.Pool.with_pool ~domains:jobs (fun pool ->
         let pool = Some pool in
         experiments pool;
+        robustness ();
         parallel_comparison pool;
         micro ();
         finish ())

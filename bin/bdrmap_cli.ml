@@ -221,10 +221,14 @@ let experiments scale names jobs =
           ("baselines", fun () -> Exp_print.baselines scale);
           ("ablation", fun () -> Exp_print.ablation scale) ]
       in
+      (* Opt-in experiments: not part of the default sweep (the fault
+         sweep repeats collection five times, and the default run's
+         output is a golden artifact downstream). *)
+      let extra = [ ("robustness", fun () -> Exp_print.robustness scale) ] in
       let chosen =
         match names with
         | [] -> all
-        | names -> List.filter (fun (n, _) -> List.mem n names) all
+        | names -> List.filter (fun (n, _) -> List.mem n names) (all @ extra)
       in
       if chosen = [] then prerr_endline "no matching experiments"
       else List.iter (fun (_, f) -> f ()) chosen)

@@ -35,3 +35,7 @@ let ablation scale =
 let baselines scale =
   Experiments.Exp_baselines.print Format.std_formatter
     (Experiments.Exp_baselines.run ~scale ())
+
+let robustness scale =
+  Experiments.Exp_robustness.print Format.std_formatter
+    (Experiments.Exp_robustness.run ~scale ())

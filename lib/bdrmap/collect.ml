@@ -38,11 +38,37 @@ let external_class ip2as addr =
 (* One traceroute with per-hop stop-set checks. The fixed flow id is the
    Paris traceroute discipline (2). *)
 let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset ~target_asn ~dst =
+  (* Retry-with-backoff over silent hops: on an impaired network a
+     missing reply is often a lost probe or a drained token bucket, not
+     a genuinely silent router, so each attempt waits [k * backoff]
+     longer before re-probing. The per-target budget keeps one
+     pathological path (e.g. every hop behind a rate limiter) from
+     consuming unbounded probes. With [probe_retries = 0] this wrapper
+     sends exactly the probes the plain loop would. *)
+  let budget = ref cfg.Config.retry_budget in
+  let probe ~ttl =
+    match prober.Probesim.Prober.trace_probe ~flow:0 ~dst ~ttl with
+    | Some r -> Some r
+    | None ->
+      let rec retry k =
+        if k > cfg.Config.probe_retries || !budget <= 0 then None
+        else begin
+          decr budget;
+          if cfg.Config.retry_backoff_s > 0.0 then
+            prober.Probesim.Prober.advance
+              (cfg.Config.retry_backoff_s *. float_of_int k);
+          match prober.Probesim.Prober.trace_probe ~flow:0 ~dst ~ttl with
+          | Some r -> Some r
+          | None -> retry (k + 1)
+        end
+      in
+      if cfg.Config.probe_retries <= 0 then None else retry 1
+  in
   let rec go ttl gaps hops =
     if ttl > cfg.Config.max_ttl || gaps >= cfg.Config.gap_limit then
       (List.rev hops, Trace.Nothing, false)
     else
-      match prober.Probesim.Prober.trace_probe ~flow:0 ~dst ~ttl with
+      match probe ~ttl with
       | None -> go (ttl + 1) (gaps + 1) hops
       | Some r -> (
         match r.Engine.kind with

@@ -17,6 +17,17 @@ type t = {
           monotonicity (ablation baseline; the paper uses monotonicity) *)
   use_stop_sets : bool;  (** doubletree stop sets (ablation knob) *)
   max_alias_candidates : int;  (** cap on candidate pairs probed *)
+  probe_retries : int;
+      (** extra attempts at a silent traceroute hop before conceding the
+          gap — recovers transiently lost or rate-limited replies
+          (default 0: the hop is retried never, matching the pre-fault
+          pipeline probe-for-probe) *)
+  retry_backoff_s : float;
+      (** extra clock advance before retry [k] ([k * backoff] seconds),
+          letting token buckets refill between attempts *)
+  retry_budget : int;
+      (** total retries allowed per traced target, so one pathological
+          path cannot consume an unbounded probe budget *)
 }
 
 val default : vp_asns:Asn.Set.t -> t

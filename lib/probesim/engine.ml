@@ -15,9 +15,9 @@ type fpath = { steps : Fwd.step array; term : terminal }
    table) instead of a wholesale [Hashtbl.reset] at capacity: inserts go
    to young; when young fills, old is discarded and young is demoted.
    Hot keys get promoted back into young on an old-generation hit, so a
-   working set up to [cache_gen_cap] entries is never thrown away, and
-   the total footprint stays bounded by two generations. *)
-let cache_gen_cap = 30_000
+   working set up to [cache_cap] entries is never thrown away, and the
+   total footprint stays bounded by two generations. *)
+let default_cache_cap = 30_000
 
 type cache_stats = { hits : int; misses : int; evictions : int; entries : int }
 
@@ -26,8 +26,8 @@ type t = {
   fwd : Fwd.t;
   ipid : Ipid.t;
   pps : float;
-  rate_limit_p : float;
-  rng : Rng.t;
+  fault : Fault.state;
+  cache_cap : int;
   mutable clock : float;
   mutable probes : int;
   mutable paths_young : (int * Ipv4.t * int, fpath) Hashtbl.t;
@@ -37,18 +37,33 @@ type t = {
   mutable cache_evictions : int;
 }
 
-let create ?(pps = 100.0) ?(rate_limit_p = 0.0) w fwd =
-  { w; fwd; ipid = Ipid.create ~seed:w.Gen.params.Gen.seed; pps; rate_limit_p;
-    rng = Rng.create (w.Gen.params.Gen.seed lxor 0x7e57); clock = 0.0; probes = 0;
+let create ?(pps = 100.0) ?(rate_limit_p = 0.0) ?fault
+    ?(cache_cap = default_cache_cap) w fwd =
+  let cfg =
+    match fault with Some c -> c | None -> Fault.of_profile w
+  in
+  (* [rate_limit_p] predates the fault layer; route it through the
+     fault state's dedicated legacy stream so its draw sequence stays
+     isolated from every other impairment. *)
+  let cfg =
+    if rate_limit_p > 0.0 then { cfg with Fault.legacy_rl_p = rate_limit_p }
+    else cfg
+  in
+  { w; fwd; ipid = Ipid.create ~seed:w.Gen.params.Gen.seed; pps;
+    fault = Fault.create ~seed:w.Gen.params.Gen.seed cfg;
+    cache_cap = max 1 cache_cap; clock = 0.0; probes = 0;
     paths_young = Hashtbl.create 4096; paths_old = Hashtbl.create 16;
     cache_hits = 0; cache_misses = 0; cache_evictions = 0 }
+
+let fault_config t = Fault.config t.fault
+let fault_stats t = Fault.stats t.fault
 
 let stats t =
   { hits = t.cache_hits; misses = t.cache_misses; evictions = t.cache_evictions;
     entries = Hashtbl.length t.paths_young + Hashtbl.length t.paths_old }
 
 let cache_insert t key p =
-  if Hashtbl.length t.paths_young >= cache_gen_cap then begin
+  if Hashtbl.length t.paths_young >= t.cache_cap then begin
     t.cache_evictions <- t.cache_evictions + Hashtbl.length t.paths_old;
     t.paths_old <- t.paths_young;
     t.paths_young <- Hashtbl.create 4096
@@ -176,42 +191,66 @@ let make_reply t (r : Net.router) ~src ~kind =
 
 let trace_probe ?(flow = 0) t ~vp ~dst ~ttl =
   tick t;
-  let p = fpath t ~src_rid:vp.Gen.vp_rid ~dst ~flow in
-  let n = Array.length p.steps in
-  if ttl <= n then begin
-    let step = p.steps.(ttl - 1) in
-    let r = Net.router t.w.Gen.net step.Fwd.rid in
-    if ttl = n && p.term = Delivered then
-      (* The probe reached its destination interface: echo reply. *)
-      if r.Net.behavior.echo then Some (make_reply t r ~src:dst ~kind:Echo_reply)
+  if Fault.probe_lost t.fault then None
+  else begin
+    let p = fpath t ~src_rid:vp.Gen.vp_rid ~dst ~flow in
+    (* Transient link failures are a time-dependent view over the cached
+       pure path: the probe dies entering the first dead link, hops
+       before it still answer, and the cache never sees the outage. *)
+    let n, term =
+      match Fault.first_failed_step t.fault ~now:t.clock p.steps with
+      | None -> (Array.length p.steps, p.term)
+      | Some i -> (i, Dropped)
+    in
+    (* Fault gates run before [make_reply] so suppressed replies consume
+       no IP-ID state: a dropped reply must leave the responder's
+       counter exactly where a never-sent reply would. *)
+    let reply_gate r k =
+      if Fault.reply_allowed t.fault ~rid:r.Net.rid ~now:t.clock then k ()
       else None
-    else if not r.Net.behavior.ttl_expired then None
-    else if t.rate_limit_p > 0.0 && Rng.bool t.rng ~p:t.rate_limit_p then None
-    else
-      match select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr with
-      | Some src -> Some (make_reply t r ~src ~kind:Ttl_expired)
-      | None -> None
-  end
-  else
-    (* Beyond the path: delivery, unreachable, or silence. *)
-    match p.term with
-    | Delivered ->
-      if n = 0 then None
-      else
-        let r = Net.router t.w.Gen.net p.steps.(n - 1).Fwd.rid in
-        if r.Net.behavior.echo then Some (make_reply t r ~src:dst ~kind:Echo_reply)
+    in
+    if ttl <= n then begin
+      let step = p.steps.(ttl - 1) in
+      let r = Net.router t.w.Gen.net step.Fwd.rid in
+      if ttl = n && term = Delivered then
+        (* The probe reached its destination interface: echo reply. *)
+        if r.Net.behavior.echo then
+          reply_gate r (fun () -> Some (make_reply t r ~src:dst ~kind:Echo_reply))
         else None
-    | Sunk ->
-      if n = 0 then None
+      else if not r.Net.behavior.ttl_expired then None
+      else if Fault.legacy_rate_limited t.fault then None
       else
-        let step = p.steps.(n - 1) in
-        let r = Net.router t.w.Gen.net step.Fwd.rid in
-        if not r.Net.behavior.unreach then None
-        else (
-          match select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr with
-          | Some src -> Some (make_reply t r ~src ~kind:Dest_unreach)
-          | None -> None)
-    | Dropped -> None
+        reply_gate r (fun () ->
+            match select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr with
+            | Some src -> Some (make_reply t r ~src ~kind:Ttl_expired)
+            | None -> None)
+    end
+    else
+      (* Beyond the path: delivery, unreachable, or silence. *)
+      match term with
+      | Delivered ->
+        if n = 0 then None
+        else
+          let r = Net.router t.w.Gen.net p.steps.(n - 1).Fwd.rid in
+          if r.Net.behavior.echo then
+            reply_gate r (fun () ->
+                Some (make_reply t r ~src:dst ~kind:Echo_reply))
+          else None
+      | Sunk ->
+        if n = 0 then None
+        else
+          let step = p.steps.(n - 1) in
+          let r = Net.router t.w.Gen.net step.Fwd.rid in
+          if not r.Net.behavior.unreach then None
+          else
+            reply_gate r (fun () ->
+                match
+                  select_src t r step.Fwd.in_link ~dst ~reply_to:vp.Gen.vp_addr
+                with
+                | Some src -> Some (make_reply t r ~src ~kind:Dest_unreach)
+                | None -> None)
+      | Dropped -> None
+  end
 
 let traceroute ?(paris = true) t ~vp ~dst ?(max_ttl = 32) ?(gap_limit = 5) () =
   let rec go ttl gaps acc =
@@ -251,25 +290,35 @@ let direct_target t dst =
 
 let ping t ~dst =
   tick t;
-  match direct_target t dst with
-  | Some r when r.Net.behavior.echo -> Some (make_reply t r ~src:dst ~kind:Echo_reply)
-  | Some _ | None -> None
+  if Fault.probe_lost t.fault then None
+  else
+    match direct_target t dst with
+    | Some r
+      when r.Net.behavior.echo
+           && Fault.reply_allowed t.fault ~rid:r.Net.rid ~now:t.clock ->
+      Some (make_reply t r ~src:dst ~kind:Echo_reply)
+    | Some _ | None -> None
 
 let udp_probe t ~dst =
   tick t;
-  match direct_target t dst with
-  | None -> None
-  | Some r -> (
-    match r.Net.behavior.udp with
-    | Net.No_udp -> None
-    | Net.Probed_addr -> Some (make_reply t r ~src:dst ~kind:Dest_unreach)
-    | Net.Canonical ->
-      let src =
-        match r.Net.canonical with
-        | Some c -> c
-        | None -> (
-          match r.Net.ifaces with
-          | i :: _ -> i.Net.addr
-          | [] -> dst)
-      in
-      Some (make_reply t r ~src ~kind:Dest_unreach))
+  if Fault.probe_lost t.fault then None
+  else
+    match direct_target t dst with
+    | None -> None
+    | Some r -> (
+      match r.Net.behavior.udp with
+      | Net.No_udp -> None
+      | (Net.Probed_addr | Net.Canonical)
+        when not (Fault.reply_allowed t.fault ~rid:r.Net.rid ~now:t.clock) ->
+        None
+      | Net.Probed_addr -> Some (make_reply t r ~src:dst ~kind:Dest_unreach)
+      | Net.Canonical ->
+        let src =
+          match r.Net.canonical with
+          | Some c -> c
+          | None -> (
+            match r.Net.ifaces with
+            | i :: _ -> i.Net.addr
+            | [] -> dst)
+        in
+        Some (make_reply t r ~src ~kind:Dest_unreach))

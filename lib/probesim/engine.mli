@@ -24,7 +24,25 @@ module Gen = Topogen.Gen
 
 type t
 
-val create : ?pps:float -> ?rate_limit_p:float -> Gen.world -> Routing.Forwarding.t -> t
+(** [create ?pps ?rate_limit_p ?fault ?cache_cap w fwd] builds the
+    probing surface over [w].
+
+    [fault] is the impairment overlay (default:
+    [Fault.of_profile w], i.e. whatever [w.params.fault] asks for —
+    nothing, for {!Gen.zero_fault}). [rate_limit_p] is {b deprecated}:
+    a uniform per-reply drop probability kept for compatibility, now
+    routed through the fault layer's dedicated legacy RNG stream;
+    prefer a [fault] config with [rl_share]/[rl_rate] token buckets.
+    [cache_cap] bounds each generation of the forward-path cache
+    (default 30_000; lower it only to exercise eviction in tests). *)
+val create :
+  ?pps:float ->
+  ?rate_limit_p:float ->
+  ?fault:Fault.config ->
+  ?cache_cap:int ->
+  Gen.world ->
+  Routing.Forwarding.t ->
+  t
 
 val world : t -> Gen.world
 val now : t -> float
@@ -43,6 +61,12 @@ type cache_stats = {
     generations and rotates instead of resetting, so the hot working
     set survives collection-long runs. *)
 val stats : t -> cache_stats
+
+(** The impairment config this engine runs under (after legacy
+    [rate_limit_p] folding) and the drop counters it has accumulated. *)
+val fault_config : t -> Fault.config
+
+val fault_stats : t -> Fault.stats
 
 type icmp_kind = Ttl_expired | Echo_reply | Dest_unreach
 

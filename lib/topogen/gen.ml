@@ -1,6 +1,29 @@
 open Netcore
 module B = Bgpdata
 
+(* Scenario-level impairment knobs (§4's real-Internet pathologies as a
+   measurement-time overlay). Plain data here — the runtime model lives
+   in [Probesim.Fault], which depends on this library and converts a
+   profile into per-router state. All-zero means "no impairment": the
+   probing engine's fault path is then a strict no-op. *)
+type fault_profile = {
+  f_probe_loss : float;  (** forward probe loss probability *)
+  f_reply_loss : float;  (** reply transit loss probability *)
+  f_rl_share : float;  (** fraction of routers that rate-limit ICMP *)
+  f_rl_rate : float;  (** token-bucket refill, replies per second *)
+  f_rl_burst : float;  (** token-bucket capacity *)
+  f_dark_share : float;  (** fraction of routers with reply quotas *)
+  f_dark_after : int;  (** replies before a quota router goes dark; 0 = off *)
+  f_fail_links : int;  (** transient interdomain link failures to schedule *)
+  f_fail_at : float;  (** onset of the first failure (simulated seconds) *)
+  f_fail_for : float;  (** outage duration per failed link *)
+}
+
+let zero_fault =
+  { f_probe_loss = 0.0; f_reply_loss = 0.0; f_rl_share = 0.0; f_rl_rate = 0.0;
+    f_rl_burst = 0.0; f_dark_share = 0.0; f_dark_after = 0; f_fail_links = 0;
+    f_fail_at = 0.0; f_fail_for = 0.0 }
+
 type params = {
   seed : int;
   name : string;
@@ -33,6 +56,7 @@ type params = {
   p_udp_canonical : float;
   p_vrouter : float;
   p_moas : float;
+  fault : fault_profile;
 }
 
 let default_params =
@@ -66,7 +90,8 @@ let default_params =
     p_ipid_random = 0.15;
     p_udp_canonical = 0.40;
     p_vrouter = 0.03;
-    p_moas = 0.03 }
+    p_moas = 0.03;
+    fault = zero_fault }
 
 type vp = { vp_name : string; vp_rid : int; vp_addr : Ipv4.t; vp_city : Geo.city }
 

@@ -11,6 +11,27 @@
 
 open Netcore
 
+(** Scenario-level measurement impairments (§4, §5.4): plain data
+    converted into runtime fault state by [Probesim.Fault]. The world's
+    topology is independent of these knobs — two parameter records
+    differing only in [fault] generate identical worlds, so impairment
+    sweeps reuse one topology. All-zero (the default) makes the probing
+    engine's fault path a strict no-op. *)
+type fault_profile = {
+  f_probe_loss : float;  (** forward probe loss probability *)
+  f_reply_loss : float;  (** reply transit loss probability *)
+  f_rl_share : float;  (** fraction of routers that rate-limit ICMP *)
+  f_rl_rate : float;  (** token-bucket refill, replies per second *)
+  f_rl_burst : float;  (** token-bucket capacity *)
+  f_dark_share : float;  (** fraction of routers with reply quotas *)
+  f_dark_after : int;  (** replies before a quota router goes dark; 0 = off *)
+  f_fail_links : int;  (** transient interdomain link failures to schedule *)
+  f_fail_at : float;  (** onset of the first failure (simulated seconds) *)
+  f_fail_for : float;  (** outage duration per failed link *)
+}
+
+val zero_fault : fault_profile
+
 type params = {
   seed : int;
   name : string;
@@ -43,6 +64,7 @@ type params = {
   p_udp_canonical : float;
   p_vrouter : float;
   p_moas : float;  (** chance a prefix is co-originated by a sibling *)
+  fault : fault_profile;  (** measurement-time impairments (default: none) *)
 }
 
 val default_params : params

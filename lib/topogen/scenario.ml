@@ -111,6 +111,27 @@ let small_access ?(scale = 1.0) ?(seed = 44) () =
     n_remote = scaled scale 80;
     n_vps = 2 }
 
+(* One knob for the robustness sweep: [intensity] in [0, 1] scales every
+   impairment class together. 0 is the exact zero profile (strict no-op
+   in the engine); 1 is a hostile Internet — heavy ICMP rate limiting,
+   a quarter of routers going dark mid-collection, several flapping
+   interdomain links. *)
+let impairment ~intensity =
+  let i = Float.max 0.0 (Float.min 1.0 intensity) in
+  if i = 0.0 then Gen.zero_fault
+  else
+    { Gen.f_probe_loss = 0.03 *. i;
+      f_reply_loss = 0.03 *. i;
+      f_rl_share = 0.45 *. i;
+      (* Harsher limiters at higher intensity: fewer tokens per second. *)
+      f_rl_rate = 10.0 /. (1.0 +. 4.0 *. i);
+      f_rl_burst = 6.0;
+      f_dark_share = 0.25 *. i;
+      f_dark_after = int_of_float (Float.round (260.0 /. (1.0 +. 5.0 *. i)));
+      f_fail_links = int_of_float (Float.round (6.0 *. i));
+      f_fail_at = 20.0;
+      f_fail_for = 90.0 }
+
 let by_name = function
   | "r_and_e" -> Some r_and_e
   | "large_access" -> Some large_access

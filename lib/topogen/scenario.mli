@@ -22,3 +22,10 @@ val small_access : ?scale:float -> ?seed:int -> unit -> Gen.params
 
 val by_name : string -> (?scale:float -> ?seed:int -> unit -> Gen.params) option
 (** Lookup by name: "r_and_e", "large_access", "tier1", "small_access". *)
+
+val impairment : intensity:float -> Gen.fault_profile
+(** [impairment ~intensity] is a fault profile where one [intensity]
+    knob in \[0, 1\] scales every impairment class together (probe/reply
+    loss, ICMP rate limiting, dark quotas, transient link failures).
+    Intensity 0 is exactly {!Gen.zero_fault}. Used by the robustness
+    experiment's sweep levels. *)

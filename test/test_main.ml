@@ -32,4 +32,5 @@ let () =
       ("tslp", Test_tslp.suite);
       ("offload", Test_offload.suite);
       ("scenarios", Test_scenarios.suite);
-      ("pool", Test_pool.suite) ]
+      ("pool", Test_pool.suite);
+      ("fault", Test_fault.suite) ]
