@@ -194,6 +194,16 @@ let test_aggregate_merge =
 (* Micro-benchmark estimates collected for BENCH.json: (name, ns/run). *)
 let micro_times : (string * float) list ref = ref []
 
+(* Metrics snapshot for BENCH.json, taken after the experiment sweeps
+   and before the micro-benchmarks — the micro loops would both inflate
+   the pipeline counters and pay the recording cost inside the timed
+   region. *)
+let obs_snapshot : (string * Obs.Metrics.value) list ref = ref []
+
+let snapshot_obs () =
+  obs_snapshot := Obs.Metrics.collect ();
+  Obs.Metrics.disable ()
+
 let micro () =
   banner "Micro-benchmarks (bechamel)";
   (* Force shared state before timing. *)
@@ -262,16 +272,43 @@ let write_bench_json path =
     Printf.sprintf "  \"robustness\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row !robustness_rows))
   in
+  let stages_block =
+    let row (stage, count, wall_s, sim_s) =
+      Printf.sprintf
+        "    {\"stage\": \"%s\", \"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f}"
+        (json_escape stage) count wall_s sim_s
+    in
+    Printf.sprintf "  \"stages\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row (Obs.Manifest.stages !obs_snapshot)))
+  in
+  let metrics_block =
+    let row (name, v) =
+      match v with
+      | Obs.Metrics.Counter n ->
+        Printf.sprintf "    {\"name\": \"%s\", \"total\": %d}" (json_escape name) n
+      | Obs.Metrics.Gauge g ->
+        Printf.sprintf "    {\"name\": \"%s\", \"max\": %g}" (json_escape name) g
+      | Obs.Metrics.Histogram h ->
+        Printf.sprintf "    {\"name\": \"%s\", \"count\": %d, \"sum\": %g}"
+          (json_escape name) h.Obs.Metrics.h_count h.Obs.Metrics.h_sum
+    in
+    Printf.sprintf "  \"metrics\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row !obs_snapshot))
+  in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/2\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s\n}\n"
+    "{\n  \"schema\": \"bdrmap-bench/3\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
     scale jobs
     (block "experiments" "{\"name\": \"%s\", \"wall_s\": %.6f}" (List.rev !wall_times))
-    robustness_block
+    robustness_block stages_block metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
 let () =
+  (* Stage spans and pipeline counters accumulate across the whole
+     experiment sweep and land in BENCH.json next to the wall-clock
+     numbers (their merged totals are pool-size independent). *)
+  Obs.Metrics.enable ();
   let finish () =
     let out = Option.value ~default:"BENCH.json" (Sys.getenv_opt "BDRMAP_BENCH_OUT") in
     write_bench_json out;
@@ -280,6 +317,7 @@ let () =
   if jobs = 1 then begin
     experiments None;
     robustness ();
+    snapshot_obs ();
     micro ();
     finish ()
   end
@@ -289,5 +327,6 @@ let () =
         experiments pool;
         robustness ();
         parallel_comparison pool;
+        snapshot_obs ();
         micro ();
         finish ())

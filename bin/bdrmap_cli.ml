@@ -5,10 +5,14 @@
 open Cmdliner
 module Gen = Topogen.Gen
 
+(* Argument parsing: every value is validated in its [Arg.conv], so a bad
+   value yields cmdliner's one-line error plus usage on stderr and the
+   CLI-error exit code — never a crash or a silent no-op deep in a run. *)
+
 let scenario_conv =
   let parse s =
     match Topogen.Scenario.by_name s with
-    | Some f -> Ok f
+    | Some f -> Ok (s, f)
     | None ->
       Error
         (`Msg
@@ -16,7 +20,7 @@ let scenario_conv =
              "unknown scenario %S (expected r_and_e, large_access, tier1, small_access)"
              s))
   in
-  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<scenario>")
+  Arg.conv (parse, fun ppf (name, _) -> Format.pp_print_string ppf name)
 
 let scenario_arg =
   Arg.(
@@ -25,10 +29,21 @@ let scenario_arg =
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:"Scenario preset: r_and_e, large_access, tier1 or small_access.")
 
+let scale_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f > 0.0 -> Ok f
+    | Some _ ->
+      Error (`Msg (Printf.sprintf "scale must be a finite number > 0, got %s" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid scale %S (expected a number)" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
 let scale_arg =
   Arg.(
-    value & opt float 1.0
-    & info [ "scale" ] ~docv:"F" ~doc:"Scale factor applied to neighbor counts.")
+    value & opt scale_conv 1.0
+    & info [ "scale" ] ~docv:"F"
+        ~doc:"Scale factor applied to neighbor counts (a finite number > 0).")
 
 let seed_arg =
   Arg.(
@@ -40,9 +55,19 @@ let vp_arg =
     value & opt int 0
     & info [ "vp" ] ~docv:"I" ~doc:"Vantage point index (default 0).")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "jobs must be >= 0, got %s" s))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid jobs count %S (expected an integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 0
+    value & opt jobs_conv 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~env:(Cmd.Env.info "BDRMAP_JOBS")
         ~doc:
@@ -50,8 +75,8 @@ let jobs_arg =
            Results are byte-identical whatever the value; only wall-clock \
            changes.")
 
-(* 0 (or negative) means auto: one domain per core the runtime
-   recommends. A pool is only spun up when it can actually help. *)
+(* 0 means auto: one domain per core the runtime recommends. A pool is
+   only spun up when it can actually help. *)
 let resolve_jobs n = if n >= 1 then n else max 1 (Domain.recommended_domain_count ())
 
 let with_jobs n f =
@@ -72,12 +97,127 @@ let out_arg =
     value & opt (some string) None
     & info [ "out" ] ~docv:"DIR" ~doc:"Directory for output artifacts.")
 
+(* Observability flags, shared by every command. All of their output
+   goes to stderr or to files: stdout carries only the inference
+   results, byte-identical whatever is enabled here. *)
+
+type obs_opts = {
+  trace : string option;
+  metrics : bool;
+  manifest : string option;
+  verbosity : int;
+}
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL trace (stage spans, per-router provenance, \
+             per-heuristic fire counts) to $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect pipeline metrics and print a summary to stderr at exit.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write a run manifest (seed, scale, jobs, config hash, stage \
+             timings, metric totals) to $(docv). With --trace or --metrics a \
+             manifest.json is written even without this flag.")
+  in
+  let verbose =
+    Arg.(
+      value & flag_all
+      & info [ "v"; "verbose" ]
+          ~doc:"Increase log verbosity on stderr (repeat for debug).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Log errors only.")
+  in
+  let mk trace metrics manifest verbose quiet =
+    { trace;
+      metrics;
+      manifest;
+      verbosity = (if quiet then -1 else List.length verbose) }
+  in
+  Term.(const mk $ trace $ metrics $ manifest $ verbose $ quiet)
+
+let print_metrics_summary () =
+  let ms = Obs.Metrics.collect () in
+  Printf.eprintf "== metrics (%d) ==\n" (List.length ms);
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Metrics.Counter n -> Printf.eprintf "  %-36s %d\n" name n
+      | Obs.Metrics.Gauge g -> Printf.eprintf "  %-36s %g\n" name g
+      | Obs.Metrics.Histogram h ->
+        Printf.eprintf "  %-36s count=%d sum=%g\n" name h.Obs.Metrics.h_count
+          h.Obs.Metrics.h_sum)
+    ms;
+  flush stderr
+
+(* [with_obs obs ... f] brackets a command with the observability
+   lifecycle: verbosity, metrics gate and trace sink before [f]; metrics
+   summary, manifest and sink teardown after (teardown also on raise).
+   [config] is a stable rendering of the full configuration — only its
+   hash lands in the manifest. *)
+let with_obs obs ~command ~scale ~jobs ?seed ~config ?out_dir ?(extra = []) f =
+  Obs.Log.set_verbosity obs.verbosity;
+  let enabled = obs.trace <> None || obs.metrics || obs.manifest <> None in
+  if enabled then Obs.Metrics.enable ();
+  Option.iter
+    (fun path ->
+      Obs.Log.info "tracing to %s" path;
+      Obs.Span.set_sink (Some (Obs.Span.file_sink path)))
+    obs.trace;
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.close_sink ())
+    (fun () ->
+      let r = f () in
+      if obs.metrics then print_metrics_summary ();
+      let manifest_path =
+        match obs.manifest with
+        | Some path -> Some path
+        | None ->
+          if enabled then
+            Some (Filename.concat (Option.value ~default:"." out_dir) "manifest.json")
+          else None
+      in
+      Option.iter
+        (fun path ->
+          Obs.Manifest.write ~path ~command ~scale ~jobs:(resolve_jobs jobs) ?seed
+            ~config ~extra ();
+          Obs.Log.info "wrote %s" path)
+        manifest_path;
+      r)
+
 type scenario_fn = ?scale:float -> ?seed:int -> unit -> Gen.params
 
 let params_of (scenario : scenario_fn) scale seed =
   match seed with
   | Some seed -> scenario ~scale ~seed ()
   | None -> scenario ~scale ()
+
+let config_string ~command ~scenario ~scale ~seed ~jobs kvs =
+  let base =
+    [ ("command", command);
+      ("scenario", scenario);
+      ("scale", Printf.sprintf "%g" scale);
+      ( "seed",
+        match seed with Some s -> string_of_int s | None -> "preset" );
+      ("jobs", string_of_int (resolve_jobs jobs)) ]
+  in
+  String.concat " "
+    (List.map (fun (k, v) -> k ^ "=" ^ v) (base @ kvs))
 
 let write_file path lines =
   let oc = open_out path in
@@ -97,30 +237,39 @@ let setup_env params =
   (world, engine, inputs)
 
 (* generate: emit the public input artifacts of §5.2. *)
-let generate scenario scale seed out =
-  let params = params_of scenario scale seed in
-  let world, _, inputs = setup_env params in
-  let dir = Option.value ~default:"." out in
-  write_file (Filename.concat dir "rib.txt") (Bgpdata.Rib.to_lines inputs.rib);
-  write_file (Filename.concat dir "as-rel.txt") (Bgpdata.As_rel.to_lines inputs.rels);
-  write_file (Filename.concat dir "ixp.txt") (Bgpdata.Ixp.to_lines inputs.ixp);
-  write_file
-    (Filename.concat dir "delegations.txt")
-    (Bgpdata.Delegation.to_lines inputs.delegations);
-  write_file (Filename.concat dir "as2org.txt") (Bgpdata.As2org.to_lines world.as2org);
-  write_file
-    (Filename.concat dir "vp-asns.txt")
-    (List.map string_of_int (Netcore.Asn.Set.elements world.siblings));
-  Printf.printf "world: %d ASes, %d routers, %d links, %d VPs\n"
-    (List.length (Topogen.Net.ases world.net))
-    (Topogen.Net.router_count world.net)
-    (Topogen.Net.link_count world.net)
-    (List.length world.vps)
+let generate (scenario_name, scenario) scale seed out obs =
+  let config =
+    config_string ~command:"generate" ~scenario:scenario_name ~scale ~seed ~jobs:1 []
+  in
+  with_obs obs ~command:"generate" ~scale ~jobs:1 ?seed ~config ?out_dir:out
+    (fun () ->
+      let params = params_of scenario scale seed in
+      let world, _, inputs = setup_env params in
+      let dir = Option.value ~default:"." out in
+      write_file (Filename.concat dir "rib.txt") (Bgpdata.Rib.to_lines inputs.rib);
+      write_file (Filename.concat dir "as-rel.txt")
+        (Bgpdata.As_rel.to_lines inputs.rels);
+      write_file (Filename.concat dir "ixp.txt") (Bgpdata.Ixp.to_lines inputs.ixp);
+      write_file
+        (Filename.concat dir "delegations.txt")
+        (Bgpdata.Delegation.to_lines inputs.delegations);
+      write_file (Filename.concat dir "as2org.txt")
+        (Bgpdata.As2org.to_lines world.as2org);
+      write_file
+        (Filename.concat dir "vp-asns.txt")
+        (List.map string_of_int (Netcore.Asn.Set.elements world.siblings));
+      Printf.printf "world: %d ASes, %d routers, %d links, %d VPs\n"
+        (List.length (Topogen.Net.ases world.net))
+        (Topogen.Net.router_count world.net)
+        (Topogen.Net.link_count world.net)
+        (List.length world.vps))
 
 let pick_vp (world : Gen.world) i =
   match List.nth_opt world.vps i with
   | Some vp -> vp
-  | None -> failwith (Printf.sprintf "vp index %d out of range (%d VPs)" i (List.length world.vps))
+  | None ->
+    failwith
+      (Printf.sprintf "vp index %d out of range (%d VPs)" i (List.length world.vps))
 
 (* run --all-vps: the deployed-system mode — every VP's pipeline on the
    domain pool, merged into one network-wide border map. *)
@@ -145,7 +294,8 @@ let run_all_vps world inputs pool =
   let by_neighbor = Bdrmap.Aggregate.per_neighbor merged in
   List.iteri
     (fun i (asn, n) ->
-      if i < 15 then Printf.printf "  AS%-8d %4d link%s\n" asn n (if n = 1 then "" else "s"))
+      if i < 15 then
+        Printf.printf "  AS%-8d %4d link%s\n" asn n (if n = 1 then "" else "s"))
     by_neighbor;
   if List.length by_neighbor > 15 then
     Printf.printf "  ... and %d more neighbors\n" (List.length by_neighbor - 15);
@@ -159,84 +309,137 @@ let run_all_vps world inputs pool =
   print_newline ()
 
 (* run: the full pipeline, with validation and Table-1 reporting. *)
-let run scenario scale seed vp_idx out all_vps jobs =
-  let params = params_of scenario scale seed in
-  let world, engine, inputs = setup_env params in
-  if all_vps then with_jobs jobs (run_all_vps world inputs)
-  else
-  let vp = pick_vp world vp_idx in
-  Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
-  let r = Bdrmap.Pipeline.execute engine inputs ~vp in
-  Format.printf "%a@." Probesim.Scheduler.pp r.collection.sched;
-  let t1 = Bdrmap.Report.table1 ~rels:inputs.rels ~vp_asns:inputs.vp_asns r.inference in
-  Bdrmap.Report.print ~title:("bdrmap @ " ^ vp.Gen.vp_name) Format.std_formatter t1;
-  let s = Bdrmap.Validate.summarize (Bdrmap.Validate.links world r.graph r.inference) in
-  Format.printf "ground truth: %a@." Bdrmap.Validate.pp_summary s;
-  match out with
-  | None -> ()
-  | Some dir ->
-    write_file
-      (Filename.concat dir "collection.txt")
-      (Bdrmap.Output.collection_to_lines r.collection);
-    write_file
-      (Filename.concat dir "links.txt")
-      (Bdrmap.Output.links_to_lines r.graph r.inference)
+let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs obs =
+  let config =
+    config_string ~command:"run" ~scenario:scenario_name ~scale ~seed ~jobs
+      [ ("vp", string_of_int vp_idx); ("all_vps", string_of_bool all_vps) ]
+  in
+  with_obs obs ~command:"run" ~scale ~jobs ?seed ~config ?out_dir:out (fun () ->
+      let params = params_of scenario scale seed in
+      let world, engine, inputs = setup_env params in
+      if all_vps then with_jobs jobs (run_all_vps world inputs)
+      else begin
+        let vp = pick_vp world vp_idx in
+        Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
+        let r = Bdrmap.Pipeline.execute engine inputs ~vp in
+        Format.printf "%a@." Probesim.Scheduler.pp r.collection.sched;
+        let t1 =
+          Bdrmap.Report.table1 ~rels:inputs.rels ~vp_asns:inputs.vp_asns r.inference
+        in
+        Bdrmap.Report.print ~title:("bdrmap @ " ^ vp.Gen.vp_name)
+          Format.std_formatter t1;
+        let s =
+          Bdrmap.Validate.summarize (Bdrmap.Validate.links world r.graph r.inference)
+        in
+        Format.printf "ground truth: %a@." Bdrmap.Validate.pp_summary s;
+        let cs = Probesim.Engine.stats engine in
+        Printf.printf
+          "engine: %d probes; path cache: %d hits, %d misses, %d evictions, %d \
+           entries\n"
+          (Probesim.Engine.probe_count engine)
+          cs.Probesim.Engine.hits cs.Probesim.Engine.misses
+          cs.Probesim.Engine.evictions cs.Probesim.Engine.entries;
+        match out with
+        | None -> ()
+        | Some dir ->
+          write_file
+            (Filename.concat dir "collection.txt")
+            (Bdrmap.Output.collection_to_lines r.collection);
+          write_file
+            (Filename.concat dir "links.txt")
+            (Bdrmap.Output.links_to_lines r.graph r.inference)
+      end)
 
 (* infer: re-run inference over a previously saved collection. *)
-let infer scenario scale seed collection_file =
-  let params = params_of scenario scale seed in
-  let _world, _, inputs = setup_env params in
-  let ic = open_in collection_file in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  match Bdrmap.Output.collection_of_lines (List.rev !lines) with
-  | Error e -> prerr_endline e
-  | Ok c ->
-    let cfg = Bdrmap.Config.default ~vp_asns:inputs.vp_asns in
-    let ip2as =
-      Bdrmap.Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
-        ~delegations:inputs.delegations ~vp_asns:inputs.vp_asns
-    in
-    let g = Bdrmap.Rgraph.build c in
-    let inf = Bdrmap.Heuristics.infer cfg ip2as ~rels:inputs.rels g c in
-    List.iter print_endline (Bdrmap.Output.links_to_lines g inf);
-    Printf.printf "# %d links from %d traces\n"
-      (List.length inf.links) (List.length c.traces)
+let infer (scenario_name, scenario) scale seed collection_file obs =
+  let config =
+    config_string ~command:"infer" ~scenario:scenario_name ~scale ~seed ~jobs:1
+      [ ("collection", collection_file) ]
+  in
+  with_obs obs ~command:"infer" ~scale ~jobs:1 ?seed ~config (fun () ->
+      let params = params_of scenario scale seed in
+      let _world, _, inputs = setup_env params in
+      let ic = open_in collection_file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      match Bdrmap.Output.collection_of_lines (List.rev !lines) with
+      | Error e -> prerr_endline e
+      | Ok c ->
+        let cfg = Bdrmap.Config.default ~vp_asns:inputs.vp_asns in
+        let ip2as =
+          Bdrmap.Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
+            ~delegations:inputs.delegations ~vp_asns:inputs.vp_asns
+        in
+        let g = Bdrmap.Rgraph.build c in
+        let inf = Bdrmap.Heuristics.infer cfg ip2as ~rels:inputs.rels g c in
+        List.iter print_endline (Bdrmap.Output.links_to_lines g inf);
+        Printf.printf "# %d links from %d traces\n" (List.length inf.links)
+          (List.length c.traces))
 
-(* experiments: regenerate the paper's tables and figures. *)
-let experiments scale names jobs =
-  with_jobs jobs (fun pool ->
-      let all =
-        [ ("table1", fun () -> Exp_print.table1 scale);
-          ("validation", fun () -> Exp_print.validation scale);
-          ("fig14", fun () -> Exp_print.fig14 ?pool scale);
-          ("fig15", fun () -> Exp_print.fig15 ?pool scale);
-          ("fig16", fun () -> Exp_print.fig16 ?pool scale);
-          ("runtime", fun () -> Exp_print.runtime scale);
-          ("resource", fun () -> Exp_print.resource ?pool scale);
-          ("baselines", fun () -> Exp_print.baselines scale);
-          ("ablation", fun () -> Exp_print.ablation scale) ]
-      in
-      (* Opt-in experiments: not part of the default sweep (the fault
-         sweep repeats collection five times, and the default run's
-         output is a golden artifact downstream). *)
-      let extra = [ ("robustness", fun () -> Exp_print.robustness scale) ] in
-      let chosen =
-        match names with
-        | [] -> all
-        | names -> List.filter (fun (n, _) -> List.mem n names) (all @ extra)
-      in
-      if chosen = [] then prerr_endline "no matching experiments"
-      else List.iter (fun (_, f) -> f ()) chosen)
+(* experiments: regenerate the paper's tables and figures. Names are
+   validated at parse time against this list (keep it in sync with
+   [all]/[extra] below), so an unknown name dies in cmdliner with a
+   one-line error plus usage, not in the middle of a sweep. *)
+let experiment_names =
+  [ "table1"; "validation"; "fig14"; "fig15"; "fig16"; "runtime"; "resource";
+    "baselines"; "ablation"; "robustness" ]
+
+let experiment_conv =
+  let parse s =
+    if List.mem s experiment_names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown experiment %S (expected one of %s)" s
+             (String.concat ", " experiment_names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let experiments scale names jobs obs =
+  let config =
+    config_string ~command:"experiments" ~scenario:"all" ~scale ~seed:None ~jobs
+      [ ("names", if names = [] then "default" else String.concat "," names) ]
+  in
+  with_obs obs ~command:"experiments" ~scale ~jobs ~config
+    ~extra:
+      [ ("experiments", if names = [] then "default" else String.concat "," names) ]
+    (fun () ->
+      with_jobs jobs (fun pool ->
+          let all =
+            [ ("table1", fun () -> Exp_print.table1 scale);
+              ("validation", fun () -> Exp_print.validation scale);
+              ("fig14", fun () -> Exp_print.fig14 ?pool scale);
+              ("fig15", fun () -> Exp_print.fig15 ?pool scale);
+              ("fig16", fun () -> Exp_print.fig16 ?pool scale);
+              ("runtime", fun () -> Exp_print.runtime scale);
+              ("resource", fun () -> Exp_print.resource ?pool scale);
+              ("baselines", fun () -> Exp_print.baselines scale);
+              ("ablation", fun () -> Exp_print.ablation scale) ]
+          in
+          (* Opt-in experiments: not part of the default sweep (the fault
+             sweep repeats collection five times, and the default run's
+             output is a golden artifact downstream). *)
+          let extra = [ ("robustness", fun () -> Exp_print.robustness scale) ] in
+          let chosen =
+            match names with
+            | [] -> all
+            | names -> List.filter (fun (n, _) -> List.mem n names) (all @ extra)
+          in
+          List.iter
+            (fun (n, f) ->
+              Obs.Log.info "experiment %s" n;
+              f ())
+            chosen))
 
 let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a world and write its public input artifacts.")
-    Term.(const generate $ scenario_arg $ scale_arg $ seed_arg $ out_arg)
+    Term.(
+      const generate $ scenario_arg $ scale_arg $ seed_arg $ out_arg $ obs_term)
 
 let run_cmd =
   Cmd.v
@@ -246,7 +449,7 @@ let run_cmd =
           --all-vps, merged into one border map).")
     Term.(
       const run $ scenario_arg $ scale_arg $ seed_arg $ vp_arg $ out_arg
-      $ all_vps_arg $ jobs_arg)
+      $ all_vps_arg $ jobs_arg $ obs_term)
 
 let infer_cmd =
   let collection_arg =
@@ -257,16 +460,23 @@ let infer_cmd =
   in
   Cmd.v
     (Cmd.info "infer" ~doc:"Run border inference over a saved collection.")
-    Term.(const infer $ scenario_arg $ scale_arg $ seed_arg $ collection_arg)
+    Term.(
+      const infer $ scenario_arg $ scale_arg $ seed_arg $ collection_arg $ obs_term)
 
 let experiments_cmd =
   let names_arg =
-    Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Experiments to run.")
+    Arg.(
+      value
+      & pos_all experiment_conv []
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Experiments to run (default: all). One of %s."
+               (String.concat ", " experiment_names)))
   in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (default: all).")
-    Term.(const experiments $ scale_arg $ names_arg $ jobs_arg)
+    Term.(const experiments $ scale_arg $ names_arg $ jobs_arg $ obs_term)
 
 let main =
   Cmd.group

@@ -84,7 +84,14 @@ let of_runs ?pool runs =
   | None -> List.map extract runs
   | Some pool -> Pool.map pool extract runs
 
-let merge_runs ?pool runs = merge (of_runs ?pool runs)
+let merge_runs ?pool runs =
+  Obs.Span.with_span ~stage:"aggregate" (fun () ->
+      let merged = merge (of_runs ?pool runs) in
+      if Obs.Metrics.enabled () then begin
+        Obs.Metrics.add "aggregate.vp_runs" (List.length runs);
+        Obs.Metrics.add "aggregate.merged_links" (List.length merged)
+      end;
+      merged)
 
 let per_neighbor merged =
   let tbl = Asn.Tbl.create 32 in

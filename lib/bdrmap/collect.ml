@@ -35,9 +35,15 @@ let external_class ip2as addr =
   | Ip2as.External _ | Ip2as.Ixp _ -> true
   | Ip2as.Host | Ip2as.Unrouted | Ip2as.Reserved -> false
 
+(* Plain counters threaded through collection and flushed into the
+   metrics registry once at the end of a run: the probing loops stay
+   observability-free (an int incr, no branch on the obs state). *)
+type counts = { mutable replies : int; mutable retries : int }
+
 (* One traceroute with per-hop stop-set checks. The fixed flow id is the
    Paris traceroute discipline (2). *)
-let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset ~target_asn ~dst =
+let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset counts ~target_asn
+    ~dst =
   (* Retry-with-backoff over silent hops: on an impaired network a
      missing reply is often a lost probe or a drained token bucket, not
      a genuinely silent router, so each attempt waits [k * backoff]
@@ -54,6 +60,7 @@ let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset ~target_asn ~dst =
         if k > cfg.Config.probe_retries || !budget <= 0 then None
         else begin
           decr budget;
+          counts.retries <- counts.retries + 1;
           if cfg.Config.retry_backoff_s > 0.0 then
             prober.Probesim.Prober.advance
               (cfg.Config.retry_backoff_s *. float_of_int k);
@@ -71,6 +78,7 @@ let trace_one (prober : Probesim.Prober.t) cfg ip2as stopset ~target_asn ~dst =
       match probe ~ttl with
       | None -> go (ttl + 1) (gaps + 1) hops
       | Some r -> (
+        counts.replies <- counts.replies + 1;
         match r.Engine.kind with
         | Engine.Echo_reply -> (List.rev hops, Trace.Echo r.Engine.src, false)
         | Engine.Dest_unreach -> (List.rev hops, Trace.Unreach r.Engine.src, false)
@@ -100,7 +108,7 @@ let informative ip2as t =
     (fun (_, a) -> external_class ip2as a && not (Ipv4.equal a t.Trace.dst))
     t.Trace.hops
 
-let gather_traces prober cfg ip2as blocks =
+let gather_traces prober cfg ip2as counts blocks =
   let stopset = Stopset.create () in
   let hits = ref 0 in
   let traces = ref [] in
@@ -108,15 +116,23 @@ let gather_traces prober cfg ip2as blocks =
     (fun (asn, bs) ->
       List.iter
         (fun b ->
+          let attempts = ref 0 in
           let rec try_candidates = function
             | [] -> ()
             | dst :: rest ->
-              let t = trace_one prober cfg ip2as stopset ~target_asn:asn ~dst in
+              Stdlib.incr attempts;
+              let t =
+                trace_one prober cfg ip2as stopset counts ~target_asn:asn ~dst
+              in
               if t.Trace.stopped then incr hits;
               traces := t :: !traces;
               if not (informative ip2as t || t.Trace.stopped) then try_candidates rest
           in
-          try_candidates (Targets.candidates ~per_block:cfg.Config.addrs_per_block b))
+          try_candidates (Targets.candidates ~per_block:cfg.Config.addrs_per_block b);
+          (* Per-block probe budget: how many of the (at most
+             [addrs_per_block]) candidate addresses this block consumed
+             before a trace saw the target. *)
+          Obs.Metrics.observe "collect.block_attempts" (float_of_int !attempts))
         bs)
     (Targets.by_asn blocks);
   (List.rev !traces, !hits)
@@ -201,41 +217,52 @@ let candidate_pairs cfg traces =
   Hashtbl.iter (fun _ l -> all_pairs l) preds;
   List.rev !pairs
 
-let run_with (prober : Probesim.Prober.t) cfg ip2as blocks =
+let run_with ?vp_name (prober : Probesim.Prober.t) cfg ip2as blocks =
   let sched = Probesim.Scheduler.create ~pps:prober.Probesim.Prober.pps in
   let count () = prober.Probesim.Prober.probe_count () in
+  (* The simulated probe clock of the §5.3 cost model: probes sent over
+     the probing rate. Spans carry it next to the wall clock. *)
+  let sim () = float_of_int (count ()) /. prober.Probesim.Prober.pps in
+  let counts = { replies = 0; retries = 0 } in
   let p0 = count () in
-  let traces, stopset_hits = gather_traces prober cfg ip2as blocks in
+  let traces, stopset_hits =
+    Obs.Span.with_span ~stage:"collect" ?vp:vp_name ~sim (fun () ->
+        gather_traces prober cfg ip2as counts blocks)
+  in
   Probesim.Scheduler.note sched Probesim.Scheduler.Traceroute (count () - p0);
   let graph = Ag.create () in
   let oracle = oracle_of_prober prober cfg graph in
-  (* Prefixscan over consecutive hop pairs. *)
-  let p1 = count () in
   let mates = ref [] in
-  let scanned = Hashtbl.create 4096 in
-  List.iter
-    (fun t ->
-      List.iter
-        (fun (prev, hop, gap) ->
-          if not gap then
-            let key = (prev, hop) in
-            if not (Hashtbl.mem scanned key) then begin
-              Hashtbl.add scanned key ();
-              match Aliasres.Prefixscan.scan oracle ~prev ~hop with
-              | Some r ->
-                if not (Ipv4.equal r.Aliasres.Prefixscan.mate prev) then
-                  Ag.add_alias graph r.Aliasres.Prefixscan.mate prev;
-                mates := (prev, hop, r.Aliasres.Prefixscan.mate) :: !mates
-              | None -> ()
-            end)
-        (Trace.pairs t))
-    traces;
-  Probesim.Scheduler.note sched Probesim.Scheduler.Prefixscan (count () - p1);
-  (* Candidate alias pairs. *)
-  let p2 = count () in
-  let pairs = candidate_pairs cfg traces in
-  List.iter (fun (a, b) -> ignore (oracle a b)) pairs;
-  Probesim.Scheduler.note sched Probesim.Scheduler.Alias (count () - p2);
+  let pairs =
+    Obs.Span.with_span ~stage:"alias" ?vp:vp_name ~sim (fun () ->
+        (* Prefixscan over consecutive hop pairs. *)
+        let p1 = count () in
+        let scanned = Hashtbl.create 4096 in
+        List.iter
+          (fun t ->
+            List.iter
+              (fun (prev, hop, gap) ->
+                if not gap then
+                  let key = (prev, hop) in
+                  if not (Hashtbl.mem scanned key) then begin
+                    Hashtbl.add scanned key ();
+                    match Aliasres.Prefixscan.scan oracle ~prev ~hop with
+                    | Some r ->
+                      if not (Ipv4.equal r.Aliasres.Prefixscan.mate prev) then
+                        Ag.add_alias graph r.Aliasres.Prefixscan.mate prev;
+                      mates := (prev, hop, r.Aliasres.Prefixscan.mate) :: !mates
+                    | None -> ()
+                  end)
+              (Trace.pairs t))
+          traces;
+        Probesim.Scheduler.note sched Probesim.Scheduler.Prefixscan (count () - p1);
+        (* Candidate alias pairs. *)
+        let p2 = count () in
+        let pairs = candidate_pairs cfg traces in
+        List.iter (fun (a, b) -> ignore (oracle a b)) pairs;
+        Probesim.Scheduler.note sched Probesim.Scheduler.Alias (count () - p2);
+        pairs)
+  in
   (* Closing replies whose source maps outside the host: §5.4.8 input. *)
   let other_icmp =
     List.filter_map
@@ -245,11 +272,62 @@ let run_with (prober : Probesim.Prober.t) cfg ip2as blocks =
         | Trace.Nothing -> None)
       traces
   in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.add "collect.traces" (List.length traces);
+    Obs.Metrics.add "collect.stopset_hits" stopset_hits;
+    Obs.Metrics.add "collect.alias_pairs" (List.length pairs);
+    Obs.Metrics.add "collect.mates" (List.length !mates);
+    Obs.Metrics.add "collect.replies" counts.replies;
+    Obs.Metrics.add "collect.retries" counts.retries;
+    Obs.Metrics.add "collect.probes.traceroute"
+      (Probesim.Scheduler.count sched Probesim.Scheduler.Traceroute);
+    Obs.Metrics.add "collect.probes.prefixscan"
+      (Probesim.Scheduler.count sched Probesim.Scheduler.Prefixscan);
+    Obs.Metrics.add "collect.probes.alias"
+      (Probesim.Scheduler.count sched Probesim.Scheduler.Alias)
+  end;
   { traces; aliases = graph; mates = List.rev !mates; other_icmp; sched;
     stopset_hits; alias_pairs_tested = List.length pairs }
 
+(* Flush the engine's cache counters and the fault layer's gate counters
+   into the registry as deltas over this run, so a shared engine (the
+   experiment cache reuses one across runs) still reports per-run
+   totals. *)
+let flush_engine_stats eng before =
+  match before with
+  | None -> ()
+  | Some ((s0 : Engine.cache_stats), (f0 : Probesim.Fault.stats), p0) ->
+    let s1 = Engine.stats eng in
+    let f1 = Engine.fault_stats eng in
+    Obs.Metrics.add "engine.probes" (Engine.probe_count eng - p0);
+    Obs.Metrics.add "engine.cache.hits" (s1.Engine.hits - s0.Engine.hits);
+    Obs.Metrics.add "engine.cache.misses" (s1.Engine.misses - s0.Engine.misses);
+    Obs.Metrics.add "engine.cache.evictions"
+      (s1.Engine.evictions - s0.Engine.evictions);
+    Obs.Metrics.gauge_max "engine.cache.entries" (float_of_int s1.Engine.entries);
+    Obs.Metrics.add "fault.probes_lost"
+      (f1.Probesim.Fault.probes_lost - f0.Probesim.Fault.probes_lost);
+    Obs.Metrics.add "fault.replies_lost"
+      (f1.Probesim.Fault.replies_lost - f0.Probesim.Fault.replies_lost);
+    Obs.Metrics.add "fault.rate_limited"
+      (f1.Probesim.Fault.rate_limited - f0.Probesim.Fault.rate_limited);
+    Obs.Metrics.add "fault.dark_dropped"
+      (f1.Probesim.Fault.dark_dropped - f0.Probesim.Fault.dark_dropped);
+    Obs.Metrics.add "fault.failure_hits"
+      (f1.Probesim.Fault.failure_hits - f0.Probesim.Fault.failure_hits)
+
 let run eng cfg ip2as ~vp blocks =
-  run_with (Probesim.Prober.local eng ~vp) cfg ip2as blocks
+  let before =
+    if Obs.Metrics.enabled () then
+      Some (Engine.stats eng, Engine.fault_stats eng, Engine.probe_count eng)
+    else None
+  in
+  let r =
+    run_with ~vp_name:vp.Gen.vp_name (Probesim.Prober.local eng ~vp) cfg ip2as
+      blocks
+  in
+  flush_engine_stats eng before;
+  r
 
 (* The oracle's probes are vantage-point independent (direct ping/udp),
    so any VP works for the local binding. *)

@@ -24,8 +24,10 @@ val run : Engine.t -> Config.t -> Ip2as.t -> vp:Gen.vp -> Targets.block list -> 
 
 (** [run_with prober cfg ip2as blocks] drives collection through an
     abstract prober — the local engine binding or the §5.8 offload
-    channel ({!Probesim.Offload.remote}). *)
-val run_with : Probesim.Prober.t -> Config.t -> Ip2as.t -> Targets.block list -> t
+    channel ({!Probesim.Offload.remote}). [vp_name] labels the
+    observability spans of this run, nothing else. *)
+val run_with :
+  ?vp_name:string -> Probesim.Prober.t -> Config.t -> Ip2as.t -> Targets.block list -> t
 
 (** [alias_oracle engine cfg] is the combined Mercator + repeated-Ally
     oracle used for candidate pairs and prefixscan, recording every

@@ -29,6 +29,23 @@ let tag_label = function
   | T8_silent -> "8. Silent neighbor"
   | T8_other_icmp -> "8. Other ICMP"
 
+(* Stable machine-readable names for metrics and trace records; the
+   step-1 "operated by the hosting network" decision is reported as
+   "host_network" so fire counts cover every decided router. *)
+let tag_slug = function
+  | T1_multihomed -> "multihomed"
+  | T2_firewall -> "firewall"
+  | T3_unrouted -> "unrouted"
+  | T4_onenet -> "onenet"
+  | T5_third_party -> "third_party"
+  | T5_relationship -> "relationship"
+  | T5_missing_customer -> "missing_customer"
+  | T5_hidden_peer -> "hidden_peer"
+  | T6_count -> "count"
+  | T6_ipas -> "ipas"
+  | T8_silent -> "silent"
+  | T8_other_icmp -> "other_icmp"
+
 type owner = Host_router | Neighbor of Asn.t * tag | Unknown
 
 type router_inference = {
@@ -541,4 +558,60 @@ let infer ?(disabled = []) cfg ip2as ~rels g (c : Collect.t) =
     List.init n_nodes (fun id ->
         { node = Rgraph.node g id; owner = owners.(id); merged_from = merged.(id) })
   in
+  (* Observability: per-heuristic fire counts and per-router provenance.
+     Purely passive — reads the finished decision array; with metrics
+     off and no sink the whole block is one branch. *)
+  let obs_m = Obs.Metrics.enabled () and obs_t = Obs.Span.sink_active () in
+  if obs_m || obs_t then begin
+    let fire : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let bump slug =
+      Hashtbl.replace fire slug
+        (1 + Option.value ~default:0 (Hashtbl.find_opt fire slug))
+    in
+    Array.iteri
+      (fun id o ->
+        let provenance =
+          match o with
+          | Unknown -> None
+          | Host_router -> Some ("host", "host_network", None)
+          | Neighbor (asn, tag) -> Some ("neighbor", tag_slug tag, Some asn)
+        in
+        match provenance with
+        | None -> ()
+        | Some (owner, slug, asn) ->
+          bump slug;
+          if obs_t then begin
+            let n = Rgraph.node g id in
+            let addrs =
+              String.concat ","
+                (List.map Ipv4.to_string (Ipv4.Set.elements n.Rgraph.addrs))
+            in
+            Obs.Span.event ~kind:"router"
+              (( "id", Obs.Span.I id )
+               :: ( "owner", Obs.Span.S owner )
+               :: ( "heuristic", Obs.Span.S slug )
+               :: (match asn with
+                  | Some a -> [ ("asn", Obs.Span.I a) ]
+                  | None -> [])
+              @ [ ("addrs", Obs.Span.S addrs);
+                  ("merged_from", Obs.Span.I (List.length merged.(id))) ])
+          end)
+      owners;
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun slug n acc -> (slug, n) :: acc) fire [])
+    in
+    List.iter
+      (fun (slug, n) ->
+        if obs_m then Obs.Metrics.add ("heuristics.fire." ^ slug) n;
+        if obs_t then
+          Obs.Span.event ~kind:"heuristic_fire"
+            [ ("heuristic", Obs.Span.S slug); ("count", Obs.Span.I n) ])
+      sorted;
+    if obs_m then begin
+      Obs.Metrics.add "heuristics.routers" n_nodes;
+      Obs.Metrics.add "heuristics.links" (List.length !links);
+      Obs.Metrics.add "heuristics.nextas_used" !nextas_used
+    end
+  end;
   { routers; links = List.rev !links; nextas_used = !nextas_used }

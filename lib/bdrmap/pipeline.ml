@@ -42,14 +42,23 @@ let execute ?cfg engine inputs ~vp =
     | Some c -> c
     | None -> Config.default ~vp_asns:inputs.vp_asns
   in
-  let ip2as =
-    Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp ~delegations:inputs.delegations
-      ~vp_asns:inputs.vp_asns
+  (* Stage spans carry the engine's simulated clock next to wall time;
+     collection/alias spans are opened inside [Collect]. *)
+  let vp_name = vp.Gen.vp_name in
+  let sim () = Engine.now engine in
+  let span stage f = Obs.Span.with_span ~stage ~vp:vp_name ~sim f in
+  let ip2as, blocks =
+    span "input" (fun () ->
+        ( Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
+            ~delegations:inputs.delegations ~vp_asns:inputs.vp_asns,
+          Targets.blocks ~rib:inputs.rib ~vp_asns:inputs.vp_asns ))
   in
-  let blocks = Targets.blocks ~rib:inputs.rib ~vp_asns:inputs.vp_asns in
   let collection = Collect.run engine cfg ip2as ~vp blocks in
-  let graph = Rgraph.build collection in
-  let inference = Heuristics.infer cfg ip2as ~rels:inputs.rels graph collection in
+  let graph = span "graph" (fun () -> Rgraph.build collection) in
+  let inference =
+    span "heuristics" (fun () ->
+        Heuristics.infer cfg ip2as ~rels:inputs.rels graph collection)
+  in
   { cfg; ip2as; inputs; collection; graph; inference }
 
 let setup ?(pps = 100.0) (w : Gen.world) =

@@ -7,6 +7,8 @@ type row = {
   paper_pct : float;
 }
 
+type t = { rows : row list; merged_vps : int; merged_links : int }
+
 let run ?(scale = 1.0) () =
   let eval env vp scenario paper_pct =
     let r = Exp_common.run_vp env vp in
@@ -14,30 +16,47 @@ let run ?(scale = 1.0) () =
       Bdrmap.Validate.links env.Exp_common.world r.Bdrmap.Pipeline.graph
         r.Bdrmap.Pipeline.inference
     in
-    { scenario;
-      vp_name = vp.Topogen.Gen.vp_name;
-      links = Bdrmap.Validate.summarize evals;
-      routers =
-        Bdrmap.Validate.router_accuracy env.Exp_common.world r.Bdrmap.Pipeline.graph
-          r.Bdrmap.Pipeline.inference;
-      ixp =
-        Bdrmap.Validate.ixp_members env.Exp_common.world r.Bdrmap.Pipeline.graph
-          r.Bdrmap.Pipeline.inference;
-      paper_pct }
+    ( { scenario;
+        vp_name = vp.Topogen.Gen.vp_name;
+        links = Bdrmap.Validate.summarize evals;
+        routers =
+          Bdrmap.Validate.router_accuracy env.Exp_common.world r.Bdrmap.Pipeline.graph
+            r.Bdrmap.Pipeline.inference;
+        ixp =
+          Bdrmap.Validate.ixp_members env.Exp_common.world r.Bdrmap.Pipeline.graph
+            r.Bdrmap.Pipeline.inference;
+        paper_pct },
+      r )
   in
   let one params scenario paper_pct ~vps =
     let env = Exp_common.make params in
     let chosen =
       List.filteri (fun i _ -> i < vps) env.Exp_common.world.Topogen.Gen.vps
     in
-    List.map (fun vp -> eval env vp scenario paper_pct) chosen
+    List.map (fun vp -> (vp, eval env vp scenario paper_pct)) chosen
   in
-  one (Topogen.Scenario.r_and_e ~scale ()) "R&E network" 96.3 ~vps:1
-  @ one (Topogen.Scenario.large_access ~scale ()) "Large access network" 98.0 ~vps:3
-  @ one (Topogen.Scenario.tier1 ~scale ()) "Tier-1 network" 97.5 ~vps:1
-  @ one (Topogen.Scenario.small_access ~scale ()) "Small access network" 96.6 ~vps:1
+  let re = one (Topogen.Scenario.r_and_e ~scale ()) "R&E network" 96.3 ~vps:1 in
+  let la =
+    one (Topogen.Scenario.large_access ~scale ()) "Large access network" 98.0 ~vps:3
+  in
+  let t1 = one (Topogen.Scenario.tier1 ~scale ()) "Tier-1 network" 97.5 ~vps:1 in
+  let sa =
+    one (Topogen.Scenario.small_access ~scale ()) "Small access network" 96.6 ~vps:1
+  in
+  (* The deployed-system aggregation step (§5.7/fig 15): the three
+     large-access per-VP inferences merged into one border map. *)
+  let merged =
+    Bdrmap.Aggregate.merge_runs
+      (List.map
+         (fun ((vp : Topogen.Gen.vp), (_, r)) ->
+           (vp.Topogen.Gen.vp_name, r.Bdrmap.Pipeline.graph, r.Bdrmap.Pipeline.inference))
+         la)
+  in
+  { rows = List.map (fun (_, (row, _)) -> row) (re @ la @ t1 @ sa);
+    merged_vps = List.length la;
+    merged_links = List.length merged }
 
-let print ppf rows =
+let print ppf { rows; merged_vps; merged_links } =
   Format.fprintf ppf "== Experiment V1: validation against ground truth (5.6) ==@.";
   Format.fprintf ppf "%-22s %-18s %7s %9s %9s %9s@." "scenario" "vp" "links"
     "correct" "measured" "paper";
@@ -60,4 +79,6 @@ let print ppf rows =
         Format.fprintf ppf "  %-22s %-18s members=%d correct=%.1f%% stale=%d@."
           r.scenario r.vp_name r.ixp.Bdrmap.Validate.total
           r.ixp.Bdrmap.Validate.pct_correct r.ixp.Bdrmap.Validate.unverifiable)
-    rows
+    rows;
+  Format.fprintf ppf "@.Merged border map across the %d large-access VPs: %d links@."
+    merged_vps merged_links

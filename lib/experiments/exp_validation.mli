@@ -1,6 +1,9 @@
 (** Experiment V1 — §5.6 validation against ground truth for the four
     networks. The paper reports: R&E 96.3%, large access 97.0-98.9%
-    (three VPs), Tier-1 97.5% (neighbor routers), small access 96.6%. *)
+    (three VPs), Tier-1 97.5% (neighbor routers), small access 96.6%.
+    The three large-access VP runs are additionally merged into one
+    border map ({!Bdrmap.Aggregate.merge_runs}), the deployed-system
+    aggregation step. *)
 
 type row = {
   scenario : string;
@@ -11,5 +14,11 @@ type row = {
   paper_pct : float;
 }
 
-val run : ?scale:float -> unit -> row list
-val print : Format.formatter -> row list -> unit
+type t = {
+  rows : row list;
+  merged_vps : int;  (** VPs merged in the large-access aggregation *)
+  merged_links : int;  (** distinct border links across those VPs *)
+}
+
+val run : ?scale:float -> unit -> t
+val print : Format.formatter -> t -> unit

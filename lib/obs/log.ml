@@ -1,0 +1,36 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let current = Atomic.make (rank Warn)
+
+let set_level l = Atomic.set current (rank l)
+
+let set_verbosity n =
+  set_level (if n < 0 then Quiet else if n = 0 then Warn else if n = 1 then Info else Debug)
+
+let level () =
+  match Atomic.get current with
+  | 0 -> Quiet
+  | 1 -> Error
+  | 2 -> Warn
+  | 3 -> Info
+  | _ -> Debug
+
+(* stderr writes from pool workers are serialized per message. *)
+let m = Mutex.create ()
+
+let logf lvl tag fmt =
+  if rank lvl > Atomic.get current then Format.ifprintf Format.err_formatter fmt
+  else
+    Format.kasprintf
+      (fun msg ->
+        Mutex.lock m;
+        Printf.eprintf "[bdrmap %s] %s\n%!" tag msg;
+        Mutex.unlock m)
+      fmt
+
+let err fmt = logf Error "error" fmt
+let warn fmt = logf Warn "warn" fmt
+let info fmt = logf Info "info" fmt
+let debug fmt = logf Debug "debug" fmt

@@ -1,0 +1,88 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* stage.<name>.count / .wall_ns / .sim_us counter triples, grouped. *)
+let stages metrics =
+  let tbl : (string, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter n -> (
+        match String.split_on_char '.' name with
+        | [ "stage"; stage; field ] ->
+          let c, w, s =
+            Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl stage)
+          in
+          (match field with
+          | "count" -> Hashtbl.replace tbl stage (c + n, w, s)
+          | "wall_ns" -> Hashtbl.replace tbl stage (c, w + n, s)
+          | "sim_us" -> Hashtbl.replace tbl stage (c, w, s + n)
+          | _ -> ())
+        | _ -> ())
+      | _ -> ())
+    metrics;
+  Hashtbl.fold
+    (fun stage (c, w, s) acc ->
+      (stage, c, float_of_int w /. 1e9, float_of_int s /. 1e6) :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+let render_value = function
+  | Metrics.Counter n -> string_of_int n
+  | Metrics.Gauge g -> Printf.sprintf "%g" g
+  | Metrics.Histogram h ->
+    Printf.sprintf "{\"sum\": %g, \"count\": %d, \"buckets\": [%s]}" h.Metrics.h_sum
+      h.Metrics.h_count
+      (String.concat ", "
+         (List.map
+            (fun (lo, n) -> Printf.sprintf "[%g, %d]" lo n)
+            h.Metrics.h_buckets))
+
+let render ~command ~scale ~jobs ?seed ?config ?(extra = []) () =
+  let metrics = Metrics.collect () in
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\n  \"schema\": \"bdrmap-manifest/1\",\n";
+  addf "  \"command\": \"%s\",\n" (escape command);
+  (match seed with
+  | Some s -> addf "  \"seed\": %d,\n" s
+  | None -> addf "  \"seed\": null,\n");
+  addf "  \"scale\": %g,\n" scale;
+  addf "  \"jobs\": %d,\n" jobs;
+  (match config with
+  | Some c -> addf "  \"config_hash\": \"%s\",\n" (Digest.to_hex (Digest.string c))
+  | None -> addf "  \"config_hash\": null,\n");
+  List.iter (fun (k, v) -> addf "  \"%s\": \"%s\",\n" (escape k) (escape v)) extra;
+  addf "  \"stages\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (stage, count, wall_s, sim_s) ->
+            Printf.sprintf
+              "    \"%s\": {\"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f}"
+              (escape stage) count wall_s sim_s)
+          (stages metrics)));
+  addf "  \"metrics\": {\n%s\n  },\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, v) -> Printf.sprintf "    \"%s\": %s" (escape name) (render_value v))
+          metrics));
+  addf "  \"trace_records\": %d,\n" (Span.records_emitted ());
+  addf "  \"created_unix\": %.0f\n}\n" (Unix.gettimeofday ());
+  Buffer.contents buf
+
+let write ~path ~command ~scale ~jobs ?seed ?config ?extra () =
+  let s = render ~command ~scale ~jobs ?seed ?config ?extra () in
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc

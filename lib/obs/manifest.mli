@@ -1,0 +1,40 @@
+(** The per-run [manifest.json]: what ran (command, seed, scale, jobs,
+    config hash), how long each pipeline stage took (from the
+    [stage.*] counters recorded by {!Span.with_span}), and every
+    metric total — written next to the run's output so an inference
+    can be audited without re-running it. *)
+
+(** [write ~path ~command ~scale ~jobs ?seed ?config ?extra ()] renders
+    the manifest from the current {!Metrics.collect} snapshot and
+    writes it to [path].
+
+    [config] is an arbitrary stable rendering of the run configuration;
+    the manifest stores its MD5 as [config_hash], so two manifests with
+    equal hashes ran identical configurations. [extra] adds free-form
+    string pairs (e.g. experiment names). *)
+val write :
+  path:string ->
+  command:string ->
+  scale:float ->
+  jobs:int ->
+  ?seed:int ->
+  ?config:string ->
+  ?extra:(string * string) list ->
+  unit ->
+  unit
+
+(** [render ...] is {!write} without the file write (for tests). *)
+val render :
+  command:string ->
+  scale:float ->
+  jobs:int ->
+  ?seed:int ->
+  ?config:string ->
+  ?extra:(string * string) list ->
+  unit ->
+  string
+
+(** [stages metrics] extracts per-stage timing triples
+    [(stage, count, wall_s, sim_s)] from [stage.*] counters, sorted by
+    stage name. *)
+val stages : (string * Metrics.value) list -> (string * int * float * float) list

@@ -1,0 +1,128 @@
+type sink = { emit : string -> unit; close : unit -> unit }
+
+(* The installed sink is read from worker domains on every record, so it
+   lives in an atomic for safe publication. *)
+let current : sink option Atomic.t = Atomic.make None
+let seq = Atomic.make 0
+let emitted = Atomic.make 0
+
+let set_sink s = Atomic.set current s
+let sink_active () = Atomic.get current <> None
+
+let close_sink () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    Atomic.set current None;
+    s.close ()
+
+let records_emitted () = Atomic.get emitted
+let reset_emitted () = Atomic.set emitted 0
+
+let file_sink path =
+  let oc = open_out path in
+  let m = Mutex.create () in
+  { emit =
+      (fun line ->
+        Mutex.lock m;
+        output_string oc line;
+        output_char oc '\n';
+        Mutex.unlock m);
+    close =
+      (fun () ->
+        Mutex.lock m;
+        close_out oc;
+        Mutex.unlock m) }
+
+let memory_sink () =
+  let m = Mutex.create () in
+  let lines = ref [] in
+  ( { emit =
+        (fun line ->
+          Mutex.lock m;
+          lines := line :: !lines;
+          Mutex.unlock m);
+      close = (fun () -> ()) },
+    fun () -> List.rev !lines )
+
+type v = S of string | I of int | F of float | B of bool
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_field buf (name, v) =
+  Buffer.add_string buf ",\"";
+  add_escaped buf name;
+  Buffer.add_string buf "\":";
+  match v with
+  | S s ->
+    Buffer.add_char buf '"';
+    add_escaped buf s;
+    Buffer.add_char buf '"'
+  | I n -> Buffer.add_string buf (string_of_int n)
+  | F f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+  | B b -> Buffer.add_string buf (if b then "true" else "false")
+
+let emit_record sink ~kind fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"type\":\"";
+  add_escaped buf kind;
+  Buffer.add_char buf '"';
+  List.iter (add_field buf) fields;
+  Buffer.add_char buf '}';
+  Atomic.incr emitted;
+  sink.emit (Buffer.contents buf)
+
+let event ~kind fields =
+  match Atomic.get current with
+  | None -> ()
+  | Some sink -> emit_record sink ~kind fields
+
+let finish_span sink_opt ~stage ~vp ~sim_start ~sim_end ~wall_ns =
+  Metrics.incr ("stage." ^ stage ^ ".count");
+  Metrics.add ("stage." ^ stage ^ ".wall_ns") wall_ns;
+  Metrics.add ("stage." ^ stage ^ ".sim_us")
+    (int_of_float ((sim_end -. sim_start) *. 1e6));
+  match sink_opt with
+  | None -> ()
+  | Some sink ->
+    let n = Atomic.fetch_and_add seq 1 in
+    let base =
+      match vp with None -> [] | Some v -> [ ("vp", S v) ]
+    in
+    (* wall_ns stays last: golden fixtures cut the volatile suffix. *)
+    emit_record sink ~kind:"span"
+      (("stage", S stage)
+       :: base
+      @ [ ("seq", I n); ("sim_start_s", F sim_start); ("sim_end_s", F sim_end);
+          ("wall_ns", I wall_ns) ])
+
+let with_span ~stage ?vp ?sim f =
+  let sink_opt = Atomic.get current in
+  if sink_opt = None && not (Metrics.enabled ()) then f ()
+  else begin
+    let simf = match sim with Some g -> g | None -> fun () -> 0.0 in
+    let sim_start = simf () in
+    let wall0 = Unix.gettimeofday () in
+    let record () =
+      let wall_ns = int_of_float ((Unix.gettimeofday () -. wall0) *. 1e9) in
+      finish_span sink_opt ~stage ~vp ~sim_start ~sim_end:(simf ()) ~wall_ns
+    in
+    match f () with
+    | r ->
+      record ();
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      record ();
+      Printexc.raise_with_backtrace e bt
+  end

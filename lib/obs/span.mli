@@ -1,0 +1,65 @@
+(** Span-based tracing of pipeline stages, emitted as JSONL through a
+    pluggable sink.
+
+    Every span carries both clocks the system runs on: monotonic
+    wall-clock (nanoseconds, volatile between runs) and the simulated
+    probe clock (seconds, deterministic for a fixed seed). Records are
+    single JSON lines with fields in a fixed order; volatile wall-clock
+    fields are always emitted {e last}, so golden fixtures can strip
+    them with a plain suffix cut.
+
+    With no sink installed and metrics disabled, {!with_span} runs its
+    thunk after a single branch and allocates no trace record —
+    enforced by the [check-obs-off] test via {!records_emitted}. Sinks
+    must be safe to call from pool worker domains; {!file_sink} and
+    {!memory_sink} serialize writes internally. *)
+
+(** {1 Sinks} *)
+
+type sink = { emit : string -> unit; close : unit -> unit }
+
+(** [file_sink path] appends one line per record to [path]
+    (mutex-serialized). [close] flushes and closes the channel. *)
+val file_sink : string -> sink
+
+(** [memory_sink ()] collects lines in memory; the thunk returns them
+    in emission order. *)
+val memory_sink : unit -> sink * (unit -> string list)
+
+(** [set_sink s] installs [s] (replacing, not closing, any previous
+    sink); [set_sink None] uninstalls. Install from the main domain
+    before fanning work out. *)
+val set_sink : sink option -> unit
+
+val sink_active : unit -> bool
+
+(** Close and uninstall the current sink, if any. *)
+val close_sink : unit -> unit
+
+(** {1 Records} *)
+
+(** Field values for {!event}: strings are JSON-escaped. *)
+type v = S of string | I of int | F of float | B of bool
+
+(** [event ~kind fields] emits [{"type":kind, fields...}] if a sink is
+    active (otherwise: one branch, no allocation). Fields are emitted
+    in list order; put volatile values last. *)
+val event : kind:string -> (string * v) list -> unit
+
+(** [with_span ~stage ?vp ?sim f] runs [f]. When a sink is active or
+    metrics are enabled it also: times [f] on the wall clock and on
+    [sim] (the simulated probe clock, default constant 0); adds
+    [stage.<stage>.count], [stage.<stage>.wall_ns] and
+    [stage.<stage>.sim_us] counters; and emits a span record
+    [{"type":"span","stage":...,"vp":...,"seq":N,"sim_start_s":...,
+    "sim_end_s":...,"wall_ns":...}]. The span is recorded even when [f]
+    raises. Span sequence numbers are process-global and atomic. *)
+val with_span : stage:string -> ?vp:string -> ?sim:(unit -> float) -> (unit -> 'a) -> 'a
+
+(** {1 Accounting for the zero-sink fast path} *)
+
+(** Number of trace records (spans + events) emitted since start or
+    {!reset_emitted}. Zero after an observability-off run. *)
+val records_emitted : unit -> int
+
+val reset_emitted : unit -> unit

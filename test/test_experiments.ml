@@ -16,7 +16,8 @@ let test_table1 () =
     rows
 
 let test_validation () =
-  let rows = Experiments.Exp_validation.run ~scale () in
+  let t = Experiments.Exp_validation.run ~scale () in
+  let rows = t.Experiments.Exp_validation.rows in
   Alcotest.(check bool) "six rows (4 scenarios, 3 large-access VPs)" true
     (List.length rows = 6);
   List.iter
@@ -27,7 +28,22 @@ let test_validation () =
         true
         (r.links.Bdrmap.Validate.total > 5
         && r.links.Bdrmap.Validate.pct_correct >= 60.0))
-    rows
+    rows;
+  (* The merged large-access border map covers at least what any single
+     VP validated and stays a sane multiple of it. *)
+  Alcotest.(check int) "merged over three VPs" 3
+    t.Experiments.Exp_validation.merged_vps;
+  let la_totals =
+    List.filter_map
+      (fun (r : Experiments.Exp_validation.row) ->
+        if r.scenario = "Large access network" then
+          Some r.links.Bdrmap.Validate.total
+        else None)
+      rows
+  in
+  Alcotest.(check bool) "merged map at least as large as one VP's" true
+    (t.Experiments.Exp_validation.merged_links
+    >= List.fold_left max 0 la_totals)
 
 let test_fig14 () =
   let t = Experiments.Exp_fig14.run ~scale () in

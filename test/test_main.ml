@@ -33,4 +33,5 @@ let () =
       ("offload", Test_offload.suite);
       ("scenarios", Test_scenarios.suite);
       ("pool", Test_pool.suite);
-      ("fault", Test_fault.suite) ]
+      ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite) ]

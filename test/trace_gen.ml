@@ -1,0 +1,35 @@
+(* Golden-trace generator: the full pipeline on the fixed-seed tiny
+   world, traced through a memory sink and printed with the volatile
+   wall-clock field stripped. Every remaining field — stage sequence,
+   simulated-clock intervals, per-router provenance, per-heuristic fire
+   counts — is deterministic, so `dune runtest` diffs this against
+   golden_tiny_trace.txt and any change to stage structure or
+   provenance shows up as a reviewable diff; `dune promote` accepts an
+   intended change. *)
+
+module Gen = Topogen.Gen
+
+(* [wall_ns] is by construction the last field of a span record, so the
+   volatile part is removed with a suffix cut. *)
+let strip_wall line =
+  let marker = ",\"wall_ns\":" in
+  let n = String.length marker and m = String.length line in
+  let rec find i =
+    if i + n > m then None
+    else if String.sub line i n = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> String.sub line 0 i ^ "}"
+  | None -> line
+
+let () =
+  let sink, drain = Obs.Span.memory_sink () in
+  Obs.Span.set_sink (Some sink);
+  let w = Gen.generate Topogen.Scenario.tiny in
+  let _bgp, _fwd, engine, inputs = Bdrmap.Pipeline.setup w in
+  let vp = List.hd w.Gen.vps in
+  ignore (Bdrmap.Pipeline.execute engine inputs ~vp);
+  Obs.Span.set_sink None;
+  print_endline "# trace, scenario=tiny seed=7 vp=0 (wall-clock stripped)";
+  List.iter (fun l -> print_endline (strip_wall l)) (drain ())
