@@ -107,6 +107,35 @@ let parallel_comparison pool =
   timed (Printf.sprintf "fig15-j%d" jobs) (fun () ->
       ignore (Experiments.Exp_fig15.run ~scale ?pool ()))
 
+(* Cold vs warm persistent run store on the same experiment: the cold
+   pass computes every per-VP artifact and checkpoints it; the warm
+   pass deserializes instead of recomputing. Both run against the warm
+   world/engine cache, so the delta is the store's, not generation's.
+   fig16 exercises the crossing-link sweep cache, resource the full
+   per-VP pipeline snapshot path. The store's hit/miss/byte counters
+   land in the metrics block below. *)
+let store_comparison pool =
+  banner "Persistent run store: cold vs warm";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bdrmap-bench-store-%d" (Unix.getpid ()))
+  in
+  let store = Store.open_dir dir in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Store.gc ~all:true store);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      timed "fig16-cold-store" (fun () ->
+          ignore (Experiments.Exp_fig16.run ~scale ?pool ~store ()));
+      timed "fig16-warm-store" (fun () ->
+          ignore (Experiments.Exp_fig16.run ~scale ?pool ~store ()));
+      timed "resource-cold-store" (fun () ->
+          ignore (Experiments.Exp_resource.run ~scale ?pool ~store ()));
+      timed "resource-warm-store" (fun () ->
+          ignore (Experiments.Exp_resource.run ~scale ?pool ~store ())))
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the pipeline stages.                            *)
 
@@ -296,7 +325,7 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/3\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    "{\n  \"schema\": \"bdrmap-bench/4\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
     scale jobs
     (block "experiments" "{\"name\": \"%s\", \"wall_s\": %.6f}" (List.rev !wall_times))
     robustness_block stages_block metrics_block
@@ -317,6 +346,7 @@ let () =
   if jobs = 1 then begin
     experiments None;
     robustness ();
+    store_comparison None;
     snapshot_obs ();
     micro ();
     finish ()
@@ -327,6 +357,7 @@ let () =
         experiments pool;
         robustness ();
         parallel_comparison pool;
+        store_comparison pool;
         snapshot_obs ();
         micro ();
         finish ())

@@ -84,6 +84,39 @@ let with_jobs n f =
   if n = 1 then f None
   else Netcore.Pool.with_pool ~domains:n (fun pool -> f (Some pool))
 
+(* Run-store flags, shared by the commands that can reuse completed
+   per-VP work. The store never changes what is computed — only whether
+   it is recomputed — so stdout stays byte-identical with or without
+   it. *)
+
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "BDRMAP_STORE")
+        ~doc:
+          "Persistent run store: completed per-VP runs are checkpointed \
+           under $(docv) and warm re-runs deserialize instead of \
+           recomputing. Output is byte-identical either way.")
+
+let no_store_arg =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:"Ignore --store and $(b,BDRMAP_STORE); always recompute.")
+
+let store_term =
+  let mk dir no_store = if no_store then None else dir in
+  Term.(const mk $ store_dir_arg $ no_store_arg)
+
+let open_store dir =
+  Option.map
+    (fun d ->
+      Obs.Log.info "run store at %s" d;
+      Store.open_dir d)
+    dir
+
 let all_vps_arg =
   Arg.(
     value & flag
@@ -219,14 +252,27 @@ let config_string ~command ~scenario ~scale ~seed ~jobs kvs =
   String.concat " "
     (List.map (fun (k, v) -> k ^ "=" ^ v) (base @ kvs))
 
+(* Output artifacts are published atomically: content goes to a temp
+   file in the target directory and lands under its real name with a
+   rename, and the channel is closed (and the temp removed) even when a
+   write raises — a failed command leaves either the complete file or
+   nothing, never a torn artifact or a leaked fd. *)
 let write_file path lines =
-  let oc = open_out path in
-  List.iter
-    (fun l ->
-      output_string oc l;
-      output_char oc '\n')
-    lines;
-  close_out oc;
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         List.iter
+           (fun l ->
+             output_string oc l;
+             output_char oc '\n')
+           lines)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
   Printf.printf "wrote %s (%d lines)\n%!" path (List.length lines)
 
 let setup_env params =
@@ -273,14 +319,14 @@ let pick_vp (world : Gen.world) i =
 
 (* run --all-vps: the deployed-system mode — every VP's pipeline on the
    domain pool, merged into one network-wide border map. *)
-let run_all_vps world inputs pool =
+let run_all_vps world inputs store pool =
   let vps = world.Gen.vps in
   let domains = match pool with Some p -> Netcore.Pool.size p | None -> 1 in
   Printf.printf "running bdrmap from %d VPs on %d domain%s...\n%!" (List.length vps)
     domains
     (if domains = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
-  let runs = Bdrmap.Pipeline.execute_all ?pool world inputs ~vps in
+  let runs = Bdrmap.Pipeline.execute_all ?pool ?store world inputs ~vps in
   let merged =
     Bdrmap.Aggregate.merge_runs ?pool
       (List.map2
@@ -309,19 +355,31 @@ let run_all_vps world inputs pool =
   print_newline ()
 
 (* run: the full pipeline, with validation and Table-1 reporting. *)
-let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs obs =
+let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs store_dir obs =
   let config =
     config_string ~command:"run" ~scenario:scenario_name ~scale ~seed ~jobs
       [ ("vp", string_of_int vp_idx); ("all_vps", string_of_bool all_vps) ]
   in
-  with_obs obs ~command:"run" ~scale ~jobs ?seed ~config ?out_dir:out (fun () ->
+  let extra =
+    match store_dir with Some d -> [ ("store", d) ] | None -> []
+  in
+  with_obs obs ~command:"run" ~scale ~jobs ?seed ~config ?out_dir:out ~extra
+    (fun () ->
       let params = params_of scenario scale seed in
-      let world, engine, inputs = setup_env params in
-      if all_vps then with_jobs jobs (run_all_vps world inputs)
+      let world, _engine, inputs = setup_env params in
+      let store = open_store store_dir in
+      if all_vps then with_jobs jobs (run_all_vps world inputs store)
       else begin
         let vp = pick_vp world vp_idx in
         Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
-        let r = Bdrmap.Pipeline.execute engine inputs ~vp in
+        (* Through execute_all even for one VP: the run gets a private
+           engine (same bytes as the historical shared one, which was
+           fresh here too) and can be checkpointed/warm-started. *)
+        let r =
+          match Bdrmap.Pipeline.execute_all ?store world inputs ~vps:[ vp ] with
+          | [ r ] -> r
+          | _ -> assert false
+        in
         Format.printf "%a@." Probesim.Scheduler.pp r.collection.sched;
         let t1 =
           Bdrmap.Report.table1 ~rels:inputs.rels ~vp_asns:inputs.vp_asns r.inference
@@ -332,13 +390,13 @@ let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs obs =
           Bdrmap.Validate.summarize (Bdrmap.Validate.links world r.graph r.inference)
         in
         Format.printf "ground truth: %a@." Bdrmap.Validate.pp_summary s;
-        let cs = Probesim.Engine.stats engine in
+        let cs = r.Bdrmap.Pipeline.cache in
         Printf.printf
           "engine: %d probes; path cache: %d hits, %d misses, %d evictions, %d \
            entries\n"
-          (Probesim.Engine.probe_count engine)
-          cs.Probesim.Engine.hits cs.Probesim.Engine.misses
-          cs.Probesim.Engine.evictions cs.Probesim.Engine.entries;
+          r.Bdrmap.Pipeline.probes cs.Probesim.Engine.hits
+          cs.Probesim.Engine.misses cs.Probesim.Engine.evictions
+          cs.Probesim.Engine.entries;
         match out with
         | None -> ()
         | Some dir ->
@@ -361,11 +419,14 @@ let infer (scenario_name, scenario) scale seed collection_file obs =
       let _world, _, inputs = setup_env params in
       let ic = open_in collection_file in
       let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> close_in ic);
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              lines := input_line ic :: !lines
+            done
+          with End_of_file -> ());
       match Bdrmap.Output.collection_of_lines (List.rev !lines) with
       | Error e -> prerr_endline e
       | Ok c ->
@@ -399,24 +460,26 @@ let experiment_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
-let experiments scale names jobs obs =
+let experiments scale names jobs store_dir obs =
   let config =
     config_string ~command:"experiments" ~scenario:"all" ~scale ~seed:None ~jobs
       [ ("names", if names = [] then "default" else String.concat "," names) ]
   in
-  with_obs obs ~command:"experiments" ~scale ~jobs ~config
-    ~extra:
-      [ ("experiments", if names = [] then "default" else String.concat "," names) ]
-    (fun () ->
+  let extra =
+    ("experiments", if names = [] then "default" else String.concat "," names)
+    :: (match store_dir with Some d -> [ ("store", d) ] | None -> [])
+  in
+  with_obs obs ~command:"experiments" ~scale ~jobs ~config ~extra (fun () ->
+      let store = open_store store_dir in
       with_jobs jobs (fun pool ->
           let all =
             [ ("table1", fun () -> Exp_print.table1 scale);
               ("validation", fun () -> Exp_print.validation scale);
-              ("fig14", fun () -> Exp_print.fig14 ?pool scale);
-              ("fig15", fun () -> Exp_print.fig15 ?pool scale);
-              ("fig16", fun () -> Exp_print.fig16 ?pool scale);
+              ("fig14", fun () -> Exp_print.fig14 ?pool ?store scale);
+              ("fig15", fun () -> Exp_print.fig15 ?pool ?store scale);
+              ("fig16", fun () -> Exp_print.fig16 ?pool ?store scale);
               ("runtime", fun () -> Exp_print.runtime scale);
-              ("resource", fun () -> Exp_print.resource ?pool scale);
+              ("resource", fun () -> Exp_print.resource ?pool ?store scale);
               ("baselines", fun () -> Exp_print.baselines scale);
               ("ablation", fun () -> Exp_print.ablation scale) ]
           in
@@ -449,7 +512,7 @@ let run_cmd =
           --all-vps, merged into one border map).")
     Term.(
       const run $ scenario_arg $ scale_arg $ seed_arg $ vp_arg $ out_arg
-      $ all_vps_arg $ jobs_arg $ obs_term)
+      $ all_vps_arg $ jobs_arg $ store_term $ obs_term)
 
 let infer_cmd =
   let collection_arg =
@@ -476,12 +539,64 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures (default: all).")
-    Term.(const experiments $ scale_arg $ names_arg $ jobs_arg $ obs_term)
+    Term.(const experiments $ scale_arg $ names_arg $ jobs_arg $ store_term $ obs_term)
+
+(* store ls / store gc: inspect and prune a run store. These take the
+   directory as a required positional/option so they never depend on
+   BDRMAP_STORE being set to something unexpected. *)
+
+let store_dir_req =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~env:(Cmd.Env.info "BDRMAP_STORE")
+        ~doc:"Run store directory.")
+
+let store_ls dir =
+  let st = Store.open_dir dir in
+  let es = Store.entries st in
+  List.iter
+    (fun (key, bytes, status) ->
+      Printf.printf "%s %10d %s\n" key bytes
+        (match status with
+        | None -> "ok"
+        | Some m -> Store.miss_label m))
+    es;
+  Printf.printf "%d entries in %s\n" (List.length es) (Store.dir st)
+
+let store_gc all dir =
+  let st = Store.open_dir dir in
+  let removed, kept = Store.gc ~all st in
+  Printf.printf "%s: removed %d, kept %d\n" (Store.dir st) removed kept
+
+let store_cmd =
+  let ls =
+    Cmd.v
+      (Cmd.info "ls" ~doc:"List store entries with size and validity.")
+      Term.(const store_ls $ store_dir_req)
+  in
+  let gc =
+    let all =
+      Arg.(
+        value & flag
+        & info [ "all" ] ~doc:"Remove valid entries too (empty the store).")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Remove invalid entries (truncated, corrupt, stale, foreign \
+            version) and orphaned temp files.")
+      Term.(const store_gc $ all $ store_dir_req)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and prune a persistent run store.")
+    [ ls; gc ]
 
 let main =
   Cmd.group
     (Cmd.info "bdrmap_cli" ~version:"1.0.0"
        ~doc:"bdrmap: inference of borders between IP networks (IMC 2016) on a simulated Internet.")
-    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd ]
+    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd; store_cmd ]
 
 let () = exit (Cmd.eval main)

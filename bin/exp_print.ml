@@ -8,25 +8,25 @@ let validation scale =
   Experiments.Exp_validation.print Format.std_formatter
     (Experiments.Exp_validation.run ~scale ())
 
-let fig14 ?pool scale =
+let fig14 ?pool ?store scale =
   Experiments.Exp_fig14.print Format.std_formatter
-    (Experiments.Exp_fig14.run ~scale ?pool ())
+    (Experiments.Exp_fig14.run ~scale ?pool ?store ())
 
-let fig15 ?pool scale =
+let fig15 ?pool ?store scale =
   Experiments.Exp_fig15.print Format.std_formatter
-    (Experiments.Exp_fig15.run ~scale ?pool ())
+    (Experiments.Exp_fig15.run ~scale ?pool ?store ())
 
-let fig16 ?pool scale =
+let fig16 ?pool ?store scale =
   Experiments.Exp_fig16.print Format.std_formatter
-    (Experiments.Exp_fig16.run ~scale ?pool ())
+    (Experiments.Exp_fig16.run ~scale ?pool ?store ())
 
 let runtime scale =
   Experiments.Exp_runtime.print Format.std_formatter
     (Experiments.Exp_runtime.run ~scale ())
 
-let resource ?pool scale =
+let resource ?pool ?store scale =
   Experiments.Exp_resource.print Format.std_formatter
-    (Experiments.Exp_resource.run ~scale ?pool ())
+    (Experiments.Exp_resource.run ~scale ?pool ?store ())
 
 let ablation scale =
   Experiments.Exp_ablation.print Format.std_formatter

@@ -34,6 +34,8 @@ type run = {
   collection : Collect.t;
   graph : Rgraph.t;
   inference : Heuristics.result;
+  probes : int;
+  cache : Engine.cache_stats;
 }
 
 let execute ?cfg engine inputs ~vp =
@@ -59,7 +61,16 @@ let execute ?cfg engine inputs ~vp =
     span "heuristics" (fun () ->
         Heuristics.infer cfg ip2as ~rels:inputs.rels graph collection)
   in
-  { cfg; ip2as; inputs; collection; graph; inference }
+  {
+    cfg;
+    ip2as;
+    inputs;
+    collection;
+    graph;
+    inference;
+    probes = Engine.probe_count engine;
+    cache = Engine.stats engine;
+  }
 
 let setup ?(pps = 100.0) (w : Gen.world) =
   let bgp =
@@ -79,8 +90,14 @@ let freeze_shared (w : Gen.world) inputs =
     ignore (Topogen.Net.neighbors w.Gen.net 0);
   ignore (B.Delegation.find inputs.delegations Ipv4.zero)
 
-let execute_all ?cfg ?pool ?(pps = 100.0) (w : Gen.world) inputs ~vps =
+let execute_all ?cfg ?pool ?store ?(pps = 100.0) (w : Gen.world) inputs ~vps =
   let originated = Gen.originated w in
+  (* The store key must cover everything the run is a function of, so
+     resolve the effective config here rather than letting [execute]
+     default it per call. *)
+  let cfg =
+    match cfg with Some c -> c | None -> Config.default ~vp_asns:inputs.vp_asns
+  in
   (* Each vantage point gets a private routing/probing stack: the BGP
      route cache, forwarding memos and the engine's clock, probe
      counter, path cache, RNG and IP-ID state are all mutable, so none
@@ -88,14 +105,50 @@ let execute_all ?cfg ?pool ?(pps = 100.0) (w : Gen.world) inputs ~vps =
      makes every VP's run independent of scheduling, which is what keeps
      the output byte-identical whatever the pool size (including no pool
      at all). *)
-  let run_vp vp =
+  let compute vp =
     let bgp =
       Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated
         ~selective:w.Gen.selective
     in
     let fwd = Routing.Forwarding.create w.Gen.net bgp in
     let engine = Engine.create ~pps w fwd in
-    execute ?cfg engine inputs ~vp
+    execute ~cfg engine inputs ~vp
+  in
+  (* With a store, each VP is a checkpoint: a hit rebuilds the run from
+     its snapshot (ip2as is cheap and deterministic, so it is re-derived
+     rather than stored); a miss computes and persists before moving on,
+     so a run killed mid-sweep resumes from the last completed VP. *)
+  let run_vp vp =
+    match store with
+    | None -> compute vp
+    | Some st -> (
+      match Run_store.load st ~world:w ~pps ~cfg ~vp with
+      | Some (s : Run_store.snapshot) ->
+        let ip2as =
+          Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
+            ~delegations:inputs.delegations ~vp_asns:inputs.vp_asns
+        in
+        {
+          cfg;
+          ip2as;
+          inputs;
+          collection = s.Run_store.collection;
+          graph = s.Run_store.graph;
+          inference = s.Run_store.inference;
+          probes = s.Run_store.probes;
+          cache = s.Run_store.cache;
+        }
+      | None ->
+        let r = compute vp in
+        Run_store.save st ~world:w ~pps ~cfg ~vp
+          {
+            Run_store.collection = r.collection;
+            graph = r.graph;
+            inference = r.inference;
+            probes = r.probes;
+            cache = r.cache;
+          };
+        r)
   in
   match pool with
   | None -> List.map run_vp vps

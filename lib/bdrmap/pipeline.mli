@@ -27,6 +27,10 @@ type run = {
   collection : Collect.t;
   graph : Rgraph.t;
   inference : Heuristics.result;
+  probes : int;
+      (** the engine's probe counter when the run finished (cumulative
+          if the engine was shared across runs) *)
+  cache : Engine.cache_stats;  (** forward-path cache counters, same caveat *)
 }
 
 (** [execute ?cfg engine inputs ~vp] runs the full pipeline from [vp]. *)
@@ -42,10 +46,18 @@ val setup :
     given, and returns the runs in [vps] order.  Every VP gets a
     private BGP cache / forwarding memo / probing engine (their mutable
     state must never cross domains), so the result is byte-identical
-    whatever the pool size — parallelism only changes wall-clock. *)
+    whatever the pool size — parallelism only changes wall-clock.
+
+    [store] adds persistent per-VP checkpointing through {!Run_store}:
+    each VP's completed run is snapshotted as soon as it finishes, a
+    warm invocation deserializes instead of recomputing (byte-identical
+    by the determinism above), and a run killed mid-sweep resumes from
+    the last completed VP. Corrupt or stale entries fall back to
+    recomputation. *)
 val execute_all :
   ?cfg:Config.t ->
   ?pool:Pool.t ->
+  ?store:Store.t ->
   ?pps:float ->
   Gen.world ->
   inputs ->

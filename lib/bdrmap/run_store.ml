@@ -1,0 +1,76 @@
+module Gen = Topogen.Gen
+
+let snapshot_version = 1
+
+type snapshot = {
+  collection : Collect.t;
+  graph : Rgraph.t;
+  inference : Heuristics.result;
+  probes : int;
+  cache : Probesim.Engine.cache_stats;
+}
+
+let digest_key v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let key ~(world : Gen.world) ~pps ~(cfg : Config.t) ~(vp : Gen.vp) =
+  (* The topology is a pure function of [params] and the per-VP run a
+     pure function of (params, pps, cfg, vp) — execute_all gives every
+     VP a fresh routing/probing stack, so nothing else (pool size,
+     obs flags, sweep order) may influence the snapshot. *)
+  digest_key
+    ( "bdrmap-run",
+      snapshot_version,
+      world.Gen.params,
+      pps,
+      vp.Gen.vp_rid,
+      vp.Gen.vp_name,
+      cfg )
+
+(* Fetch and decode one entry. The store validates magic/version/key/
+   digest; [Marshal.from_string] can still raise on an entry whose key
+   namespace lied about the layout, so that too degrades to a miss. *)
+let fetch (type a) st ~key ~what : a option =
+  match Store.read st ~key with
+  | Ok payload -> (
+    match (Marshal.from_string payload 0 : a) with
+    | v ->
+      Obs.Metrics.incr "store.hits";
+      Obs.Metrics.add "store.bytes_read" (String.length payload);
+      Some v
+    | exception _ ->
+      Obs.Log.warn "store: undecodable %s entry %s; recomputing" what key;
+      Obs.Metrics.incr "store.misses";
+      None)
+  | Error Store.Absent ->
+    Obs.Metrics.incr "store.misses";
+    None
+  | Error m ->
+    Obs.Log.warn "store: %s %s entry %s; recomputing" (Store.miss_label m)
+      what key;
+    Obs.Metrics.incr "store.misses";
+    None
+
+let put st ~key v =
+  let payload = Marshal.to_string v [] in
+  let bytes = Store.write st ~key payload in
+  Obs.Metrics.incr "store.writes";
+  Obs.Metrics.add "store.bytes_written" bytes
+
+let load st ~world ~pps ~cfg ~vp =
+  let key = key ~world ~pps ~cfg ~vp in
+  Obs.Span.with_span ~stage:"store" ~vp:vp.Gen.vp_name (fun () ->
+      (fetch st ~key ~what:"run" : snapshot option))
+
+let save st ~world ~pps ~cfg ~vp (s : snapshot) =
+  let key = key ~world ~pps ~cfg ~vp in
+  Obs.Span.with_span ~stage:"store" ~vp:vp.Gen.vp_name (fun () ->
+      put st ~key s)
+
+let memo st ~key ?vp ~what f =
+  match Obs.Span.with_span ~stage:"store" ?vp (fun () -> fetch st ~key ~what)
+  with
+  | Some v -> v
+  | None ->
+    let v = f () in
+    Obs.Span.with_span ~stage:"store" ?vp (fun () -> put st ~key v);
+    v

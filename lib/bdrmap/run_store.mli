@@ -1,0 +1,75 @@
+(** Pipeline-level encoding on top of the generic {!Store}: persistent
+    snapshots of completed per-VP runs, plus a generic memoizer for
+    other deterministic per-VP artifacts (the experiments' forwarding
+    sweeps).
+
+    Keys are MD5 digests — the same [Digest] plumbing the manifest's
+    config hash uses — over everything the cached value is a pure
+    function of: the full topology parameters (seed, scale and all
+    counts; the topology is a deterministic function of them), the
+    probe rate, the full pipeline {!Config.t} and the VP identity.
+    Pool size, jobs and observability flags deliberately never reach a
+    key: a warm read must be byte-identical to the cold compute at any
+    [-j].
+
+    Values are [Marshal]ed OCaml data (everything in a snapshot is
+    plain data — no closures, no custom blocks). The store's magic,
+    version, embedded key and payload digest guard the bytes;
+    {!snapshot_version} participates in every key, so a layout change
+    here invalidates old entries instead of misreading them. Any
+    malformed entry is logged via {!Obs.Log}, counted as a miss, and
+    falls back to recomputation. *)
+
+(** Bump when any marshaled layout below (or in the types it reaches)
+    changes; old entries then miss on key rather than decode wrongly. *)
+val snapshot_version : int
+
+type snapshot = {
+  collection : Collect.t;
+  graph : Rgraph.t;
+  inference : Heuristics.result;
+  probes : int;  (** engine probe counter at end of run *)
+  cache : Probesim.Engine.cache_stats;
+}
+
+val key :
+  world:Topogen.Gen.world ->
+  pps:float ->
+  cfg:Config.t ->
+  vp:Topogen.Gen.vp ->
+  string
+
+(** [load st ~world ~pps ~cfg ~vp] returns the stored snapshot, or
+    [None] (counted as [store.misses]; non-absent misses are logged).
+    Hits add [store.hits] / [store.bytes_read] and run under a
+    ["store"] span. *)
+val load :
+  Store.t ->
+  world:Topogen.Gen.world ->
+  pps:float ->
+  cfg:Config.t ->
+  vp:Topogen.Gen.vp ->
+  snapshot option
+
+(** [save st ~world ~pps ~cfg ~vp s] checkpoints [s] atomically
+    (adds [store.writes] / [store.bytes_written]). *)
+val save :
+  Store.t ->
+  world:Topogen.Gen.world ->
+  pps:float ->
+  cfg:Config.t ->
+  vp:Topogen.Gen.vp ->
+  snapshot ->
+  unit
+
+(** [memo st ~key ?vp ~what f] returns the value cached under [key],
+    or computes [f ()], checkpoints it, and returns it. [what] names
+    the artifact in log lines; [key] must come from {!digest_key}. The
+    value must be plain marshalable data whose layout is covered by
+    [key]'s namespace string. *)
+val memo : Store.t -> key:string -> ?vp:string -> what:string -> (unit -> 'a) -> 'a
+
+(** [digest_key v] is the hex MD5 of [v]'s marshaled bytes: include a
+    namespace string and a version in [v], plus everything the cached
+    value depends on. *)
+val digest_key : 'a -> string

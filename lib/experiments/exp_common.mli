@@ -20,10 +20,12 @@ val make : ?pps:float -> Gen.params -> env
 (** [run_vp env vp] executes the full pipeline from [vp]. *)
 val run_vp : env -> Gen.vp -> Bdrmap.Pipeline.run
 
-(** [run_vps ?pool env vps] executes the pipeline from every VP via
-    {!Bdrmap.Pipeline.execute_all}: private per-VP engines, optional
-    domain parallelism, results in [vps] order. *)
-val run_vps : ?pool:Pool.t -> env -> Gen.vp list -> Bdrmap.Pipeline.run list
+(** [run_vps ?pool ?store env vps] executes the pipeline from every VP
+    via {!Bdrmap.Pipeline.execute_all}: private per-VP engines, optional
+    domain parallelism and persistent checkpointing, results in [vps]
+    order. *)
+val run_vps :
+  ?pool:Pool.t -> ?store:Store.t -> env -> Gen.vp list -> Bdrmap.Pipeline.run list
 
 (** [org_of env asn] resolves the ground-truth organization. *)
 val org_of : env -> Asn.t -> string
@@ -40,9 +42,16 @@ val crossing_link : env -> vp:Gen.vp -> dst:Ipv4.t -> Net.link option
     every (VP, prefix) pair: one inner list per VP in [env]'s VP order,
     one element per prefix in [prefixes] order.  With a pool, VPs are
     spread over the worker domains, each with its own forwarding stack;
-    the result is identical to the serial sweep. *)
+    the result is identical to the serial sweep.  With a [store], each
+    VP's column is cached under (world params, prefixes, vp) — the
+    sweeps of fig 14/15/16 share one key space, so they warm-start from
+    each other even within a single cold invocation. *)
 val crossing_links_by_vp :
-  ?pool:Pool.t -> env -> (Prefix.t * Ipv4.t) list -> Net.link option list list
+  ?pool:Pool.t ->
+  ?store:Store.t ->
+  env ->
+  (Prefix.t * Ipv4.t) list ->
+  Net.link option list list
 
 (** [external_prefixes env] is every routed prefix not originated by the
     hosting org, with a representative probe address. *)

@@ -25,7 +25,7 @@ let cdf_of counts =
   List.iteri (fun i v -> Hashtbl.replace tbl v (float_of_int (i + 1) /. float_of_int n)) sorted;
   Hashtbl.fold (fun v f acc -> (v, f) :: acc) tbl [] |> List.sort compare
 
-let run ?(scale = 1.0) ?pool () =
+let run ?(scale = 1.0) ?pool ?store () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -38,7 +38,7 @@ let run ?(scale = 1.0) ?pool () =
   (* One crossing-link sweep per VP (domain-parallel under ?pool), then
      a per-prefix pass over the per-VP columns in fixed VP order. *)
   let per_vp =
-    List.map Array.of_list (Exp_common.crossing_links_by_vp ?pool env prefixes)
+    List.map Array.of_list (Exp_common.crossing_links_by_vp ?pool ?store env prefixes)
   in
   let per_prefix =
     List.mapi

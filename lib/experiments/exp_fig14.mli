@@ -20,5 +20,5 @@ type t = {
           composition closest to the paper's 500k-prefix denominator *)
 }
 
-val run : ?scale:float -> ?pool:Netcore.Pool.t -> unit -> t
+val run : ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> t
 val print : Format.formatter -> t -> unit

@@ -11,7 +11,7 @@ type t = { n_vps : int; series : series list }
 
 module Int_set = Set.Make (Int)
 
-let run ?(scale = 1.0) ?pool () =
+let run ?(scale = 1.0) ?pool ?store () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -25,7 +25,7 @@ let run ?(scale = 1.0) ?pool () =
       (fun links ->
         List.filter_map (Option.map (fun (l : Net.link) -> l.Net.lid)) links
         |> List.sort_uniq compare)
-      (Exp_common.crossing_links_by_vp ?pool env prefixes)
+      (Exp_common.crossing_links_by_vp ?pool ?store env prefixes)
   in
   let targets =
     (Printf.sprintf "level3-like (AS%d)" w.Gen.big_peer, Exp_common.org_of env w.Gen.big_peer)

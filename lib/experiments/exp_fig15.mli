@@ -12,5 +12,5 @@ type series = {
 
 type t = { n_vps : int; series : series list }
 
-val run : ?scale:float -> ?pool:Netcore.Pool.t -> unit -> t
+val run : ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> t
 val print : Format.formatter -> t -> unit

@@ -6,7 +6,7 @@ type vp_row = { vp_name : string; vp_lon : float; marks : mark list }
 type neighbor_plot = { neighbor : string; rows : vp_row list; total_links : int }
 type t = neighbor_plot list
 
-let run ?(scale = 1.0) ?pool () =
+let run ?(scale = 1.0) ?pool ?store () =
   let params = Topogen.Scenario.large_access ~scale () in
   (* Destination composition matters for path diversity: the measured
      Internet is dominated by remote prefixes, not direct customers. *)
@@ -22,7 +22,7 @@ let run ?(scale = 1.0) ?pool () =
   (* One crossing-link sweep per VP (domain-parallel under ?pool),
      reused for every neighbor plot below. *)
   let per_vp =
-    List.combine w.Gen.vps (Exp_common.crossing_links_by_vp ?pool env prefixes)
+    List.combine w.Gen.vps (Exp_common.crossing_links_by_vp ?pool ?store env prefixes)
   in
   let targets =
     (Printf.sprintf "level3-like (AS%d)" w.Gen.big_peer, Exp_common.org_of env w.Gen.big_peer)

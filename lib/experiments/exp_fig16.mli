@@ -13,5 +13,5 @@ type neighbor_plot = { neighbor : string; rows : vp_row list; total_links : int 
 
 type t = neighbor_plot list
 
-val run : ?scale:float -> ?pool:Netcore.Pool.t -> unit -> t
+val run : ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> t
 val print : Format.formatter -> t -> unit

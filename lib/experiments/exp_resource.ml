@@ -6,14 +6,14 @@ type t = {
   split_fits_whitebox : bool;
 }
 
-let run ?(scale = 1.0) ?pool () =
+let run ?(scale = 1.0) ?pool ?store () =
   let env = Exp_common.make (Topogen.Scenario.large_access ~scale ()) in
   let vp = List.hd env.Exp_common.world.Topogen.Gen.vps in
   (* Footprints are sized from a real collection run; going through
      execute_all gives the run a private engine so the numbers do not
      depend on what other experiments probed before us. *)
   let r =
-    match Exp_common.run_vps ?pool env [ vp ] with
+    match Exp_common.run_vps ?pool ?store env [ vp ] with
     | [ r ] -> r
     | _ -> assert false
   in

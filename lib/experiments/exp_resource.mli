@@ -12,5 +12,5 @@ type t = {
   split_fits_whitebox : bool;
 }
 
-val run : ?scale:float -> ?pool:Netcore.Pool.t -> unit -> t
+val run : ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> t
 val print : Format.formatter -> t -> unit

@@ -9,14 +9,24 @@
    beyond. 62 buckets total. *)
 let n_buckets = 62
 
-let bucket_of v =
-  if v <= 1e-9 || Float.is_nan v then 0
-  else
-    let i = 1 + int_of_float (Float.floor ((Float.log10 v +. 9.0) *. 4.0)) in
-    if i < 1 then 1 else if i >= n_buckets then n_buckets - 1 else i
-
 let bucket_lower i =
   if i <= 0 then 0.0 else 10.0 ** (-9.0 +. (float_of_int (i - 1) /. 4.0))
+
+let bucket_of v =
+  if Float.is_nan v then 0
+  else if v = Float.infinity then n_buckets - 1
+  else if v <= 1e-9 then 0
+  else
+    let i = 1 + int_of_float (Float.floor ((Float.log10 v +. 9.0) *. 4.0)) in
+    let i = if i < 1 then 1 else if i >= n_buckets then n_buckets - 1 else i in
+    (* log10 carries float error, so a value at an exact bucket boundary
+       can land one off (e.g. log10 1e-6 is a hair above -6). Snap
+       against the real boundaries: bucket i covers
+       [bucket_lower i, bucket_lower (i+1)). One step is enough — the
+       log error is ulps, far below a quarter-decade. *)
+    if i + 1 < n_buckets && v >= bucket_lower (i + 1) then i + 1
+    else if i > 1 && v < bucket_lower i then i - 1
+    else i
 
 type hist = { buckets : int array; mutable sum : float; mutable count : int }
 type cell = C of int ref | G of float ref | H of hist

@@ -37,7 +37,14 @@ type t = {
   mutable cache_evictions : int;
 }
 
-let create ?(pps = 100.0) ?(rate_limit_p = 0.0) ?fault
+(* The payload is just the probability; the opaque type exists so the
+   only way to build one — the deprecated [rate_limit_p] constructor —
+   raises a compile-time alert at every remaining call site. *)
+type legacy_rate_limit = float
+
+let rate_limit_p p = p
+
+let create ?(pps = 100.0) ?rate_limit_p ?fault
     ?(cache_cap = default_cache_cap) w fwd =
   let cfg =
     match fault with Some c -> c | None -> Fault.of_profile w
@@ -46,8 +53,9 @@ let create ?(pps = 100.0) ?(rate_limit_p = 0.0) ?fault
      fault state's dedicated legacy stream so its draw sequence stays
      isolated from every other impairment. *)
   let cfg =
-    if rate_limit_p > 0.0 then { cfg with Fault.legacy_rl_p = rate_limit_p }
-    else cfg
+    match rate_limit_p with
+    | Some p when p > 0.0 -> { cfg with Fault.legacy_rl_p = p }
+    | _ -> cfg
   in
   { w; fwd; ipid = Ipid.create ~seed:w.Gen.params.Gen.seed; pps;
     fault = Fault.create ~seed:w.Gen.params.Gen.seed cfg;

@@ -14,22 +14,75 @@ let request_to_line = function
   | Udp dst -> Printf.sprintf "U|%s" (Ipv4.to_string dst)
   | Advance s -> Printf.sprintf "A|%.3f" s
 
+(* Strict field parsers. [String.split_on_char] already rejects arity
+   errors (a trailing field or an embedded '|' changes the arity, so the
+   patterns below fall through to the error case), but the stdlib
+   numeric parsers are far too liberal for a wire format:
+   [int_of_string_opt] takes "0x10", "+5" and "1_000";
+   [float_of_string_opt] takes "nan", "inf" and "1e3" — and a NaN clock
+   advance would silently wedge the engine's simulated clock. Each field
+   therefore accepts exactly the canonical rendering its printer emits,
+   which is also what makes the round-trip property
+   [of_line (to_line r) = Ok r] meaningful. *)
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* Canonical non-negative decimal: digits only, no redundant leading
+   zero, small enough to never overflow. *)
+let canon_int s =
+  if
+    is_digits s
+    && String.length s <= 9
+    && (String.length s = 1 || s.[0] <> '0')
+  then int_of_string_opt s
+  else None
+
+let canon_int_range lo hi s =
+  match canon_int s with Some v when v >= lo && v <= hi -> Some v | None | Some _ -> None
+
+(* Canonical "%.3f" of a non-negative float: an integer part with no
+   redundant leading zero, a dot, exactly three fraction digits. Finite
+   and non-negative by construction — "nan", "inf", exponents and signs
+   never match. *)
+let canon_float3 s =
+  match String.index_opt s '.' with
+  | Some i
+    when String.length s - i - 1 = 3
+         && i >= 1
+         && i <= 12
+         && is_digits (String.sub s 0 i)
+         && (i = 1 || s.[0] <> '0')
+         && is_digits (String.sub s (i + 1) 3) ->
+    float_of_string_opt s
+  | _ -> None
+
+(* Canonical dotted quad: [Ipv4.of_string] is strict about shape but
+   still accepts redundant leading zeros ("01.2.3.4"); requiring the
+   round-trip pins one spelling per address. *)
+let canon_addr s =
+  match Ipv4.of_string s with
+  | Some a when String.equal (Ipv4.to_string a) s -> Some a
+  | _ -> None
+
 let request_of_line line =
   match String.split_on_char '|' line with
   | [ "T"; flow; dst; ttl ] -> (
-    match (int_of_string_opt flow, Ipv4.of_string dst, int_of_string_opt ttl) with
+    (* ttl >= 1: the engine indexes the forward path at [ttl - 1]. *)
+    match
+      (canon_int flow, canon_addr dst, canon_int_range 1 255 ttl)
+    with
     | Some flow, Some dst, Some ttl -> Ok (Trace { flow; dst; ttl })
     | _ -> Error (Printf.sprintf "bad trace request %S" line))
   | [ "P"; dst ] -> (
-    match Ipv4.of_string dst with
+    match canon_addr dst with
     | Some dst -> Ok (Ping dst)
     | None -> Error (Printf.sprintf "bad ping request %S" line))
   | [ "U"; dst ] -> (
-    match Ipv4.of_string dst with
+    match canon_addr dst with
     | Some dst -> Ok (Udp dst)
     | None -> Error (Printf.sprintf "bad udp request %S" line))
   | [ "A"; s ] -> (
-    match float_of_string_opt s with
+    match canon_float3 s with
     | Some s -> Ok (Advance s)
     | None -> Error (Printf.sprintf "bad advance request %S" line))
   | _ -> Error (Printf.sprintf "bad request %S" line)
@@ -55,7 +108,7 @@ let response_of_line line =
   match String.split_on_char '|' line with
   | [ "N" ] -> Ok None
   | [ "R"; src; kind; ipid ] -> (
-    match (Ipv4.of_string src, kind_of_string kind, int_of_string_opt ipid) with
+    match (canon_addr src, kind_of_string kind, canon_int_range 0 0xffff ipid) with
     | Some src, Some kind, Some ipid ->
       (* The responder's identity stays on the device side: the wire
          format carries only what a real ICMP reply would. *)

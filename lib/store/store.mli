@@ -1,0 +1,71 @@
+(** Persistent content-addressed blob store with crash-safe writes.
+
+    A store is a flat directory of entries, one file per key.  Keys are
+    32-char hex MD5 digests computed by the caller over whatever
+    identifies the cached computation (topology parameters, pipeline
+    config, VP identity...); the store itself is generic and holds
+    opaque byte payloads.
+
+    Every entry is a versioned, length-prefixed record:
+
+    {v
+      offset  size  field
+      0       4     magic "BDRS"
+      4       4     format version (big-endian)
+      8       32    key (hex MD5, must match the file's key)
+      40      16    MD5 digest of the payload
+      56      8     payload length (big-endian)
+      64      n     payload
+    v}
+
+    Writes go to a uniquely named temp file in the same directory and
+    are published with [Sys.rename], so a reader can never observe a
+    torn entry and a killed writer leaves only a [*.tmp-*] orphan that
+    [gc] sweeps.  Reads validate magic, version, embedded key, length
+    and digest; any mismatch is reported as a typed miss so callers can
+    fall back to recomputation. *)
+
+type t
+
+(** Latest entry format version written by {!write}. *)
+val format_version : int
+
+(** [open_dir dir] opens (creating if needed) a store rooted at [dir]. *)
+val open_dir : string -> t
+
+val dir : t -> string
+
+(** Why a read did not produce a payload. *)
+type miss =
+  | Absent  (** no entry file for this key *)
+  | Truncated  (** file shorter than its header or declared length *)
+  | Bad_magic  (** not a store entry *)
+  | Bad_version of int  (** entry written by an incompatible format *)
+  | Stale  (** embedded key does not match the requested key *)
+  | Corrupt  (** payload digest mismatch *)
+
+val miss_label : miss -> string
+
+(** [read t ~key] returns the payload stored under [key], or a typed
+    miss.  Never raises on a malformed entry. *)
+val read : t -> key:string -> (string, miss) result
+
+(** [write t ~key payload] atomically persists [payload] under [key]
+    (temp file + rename) and returns the entry size in bytes,
+    header included. *)
+val write : t -> key:string -> string -> int
+
+(** [mem t ~key] is true iff [read] would succeed. *)
+val mem : t -> key:string -> bool
+
+(** [remove t ~key] deletes the entry if present. *)
+val remove : t -> key:string -> unit
+
+(** [entries t] lists every entry file as [(key, bytes, status)] where
+    [status] is [None] for a valid entry and [Some miss] otherwise,
+    sorted by key.  Temp files are not listed. *)
+val entries : t -> (string * int * miss option) list
+
+(** [gc t] removes invalid entries and orphaned temp files; [~all:true]
+    removes valid entries too.  Returns [(removed, kept)]. *)
+val gc : ?all:bool -> t -> int * int

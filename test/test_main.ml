@@ -34,4 +34,5 @@ let () =
       ("scenarios", Test_scenarios.suite);
       ("pool", Test_pool.suite);
       ("fault", Test_fault.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("store", Test_store.suite) ]

@@ -50,6 +50,38 @@ let test_buckets () =
   Alcotest.(check bool) "bucket index monotone" true
     (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 8) idx) (List.tl idx))
 
+let test_bucket_boundaries () =
+  (* Table-driven over every bucket boundary: an exact decade/quarter-
+     decade boundary value belongs to the bucket it opens (the lower
+     bound is inclusive), the float just below it to the previous one,
+     the float just above stays put. log10's rounding error used to
+     push exact boundaries one bucket off. 62 buckets: 0 catches
+     <= 1e-9, 61 catches everything from its lower bound up — including
+     infinity, which routes there explicitly. *)
+  for i = 1 to 61 do
+    let lo = Obs.Metrics.bucket_lower i in
+    let expect_at = if i = 1 then 0 else i in
+    (* bucket 1's lower bound is exactly the 1e-9 underflow cut *)
+    Alcotest.(check int)
+      (Printf.sprintf "bucket_of (bucket_lower %d)" i)
+      expect_at
+      (Obs.Metrics.bucket_of lo);
+    Alcotest.(check int)
+      (Printf.sprintf "bucket_of (pred (bucket_lower %d))" i)
+      (i - 1)
+      (Obs.Metrics.bucket_of (Float.pred lo));
+    Alcotest.(check int)
+      (Printf.sprintf "bucket_of (succ (bucket_lower %d))" i)
+      i
+      (Obs.Metrics.bucket_of (Float.succ lo))
+  done;
+  Alcotest.(check int) "nan" 0 (Obs.Metrics.bucket_of Float.nan);
+  Alcotest.(check int) "zero" 0 (Obs.Metrics.bucket_of 0.0);
+  Alcotest.(check int) "negative" 0 (Obs.Metrics.bucket_of (-5.0));
+  Alcotest.(check int) "neg infinity" 0 (Obs.Metrics.bucket_of Float.neg_infinity);
+  Alcotest.(check int) "infinity" 61 (Obs.Metrics.bucket_of Float.infinity);
+  Alcotest.(check int) "max_float" 61 (Obs.Metrics.bucket_of Float.max_float)
+
 let test_disabled_noop () =
   Obs.Metrics.disable ();
   Obs.Metrics.reset ();
@@ -244,6 +276,7 @@ let test_manifest_render () =
 let suite =
   [ Alcotest.test_case "metrics basics" `Quick test_metrics_basics;
     Alcotest.test_case "histogram buckets" `Quick test_buckets;
+    Alcotest.test_case "bucket boundary table" `Quick test_bucket_boundaries;
     Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
     Alcotest.test_case "shard merge determinism" `Quick test_shard_merge_determinism;
     Alcotest.test_case "byte identity obs on/off" `Slow test_byte_identity_obs_on_off;

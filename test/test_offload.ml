@@ -95,6 +95,116 @@ let test_offloaded_collection_equivalent () =
     true
     (kb_down > 10 && kb_up > 10)
 
+(* The wire format accepts exactly what its printers emit — nothing
+   else. Each rejected line here was accepted by the pre-hardening
+   parser (liberal stdlib numeric parsing, or arity-blind field reads)
+   and would have produced a silently wrong request: a NaN clock
+   advance, a ttl of 0 (which the engine indexes at steps.(-1)), a
+   non-canonical address, an out-of-range IP-ID. *)
+let test_strict_parsing () =
+  let bad_requests =
+    [ "A|nan"; "A|inf"; "A|-1.000"; "A|1e3"; "A|1.0"; "A|1.0000"; "A|.500";
+      "A|01.000"; "A|300"; "T|1|1.2.3.4|0"; "T|1|1.2.3.4|256";
+      "T|1|1.2.3.4|-1"; "T|01|1.2.3.4|5"; "T|0x1|1.2.3.4|5";
+      "T|1_0|1.2.3.4|5"; "T|+1|1.2.3.4|5"; "T|1|01.2.3.4|5";
+      "T|1|1.2.3.4|5|trailing"; "T|1|1.2.3.4"; "P|1.2.3.04"; "P|1.2.3.4|x";
+      "U|"; "" ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %S rejected" line)
+        true
+        (Result.is_error (Offload.request_of_line line)))
+    bad_requests;
+  let bad_responses =
+    [ "R|1.2.3.4|ttl|70000"; "R|1.2.3.4|ttl|-1"; "R|1.2.3.4|ttl|0xff";
+      "R|1.2.3.4|bogus|1"; "R|01.2.3.4|ttl|1"; "R|1.2.3.4|ttl|1|extra";
+      "R|1.2.3.4|ttl"; "N|trailing"; "" ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response %S rejected" line)
+        true
+        (Result.is_error (Offload.response_of_line line)))
+    bad_responses;
+  (* And the canonical forms still parse. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "request %S accepted" line)
+        true
+        (Result.is_ok (Offload.request_of_line line)))
+    [ "A|0.000"; "A|300.000"; "T|0|1.2.3.4|1"; "T|0|1.2.3.4|255";
+      "P|255.255.255.255"; "U|0.0.0.0" ]
+
+(* Round-trip properties that would have caught the liberal parsers:
+   any value a printer can emit must parse back to itself, and the
+   printed line must be the fixpoint of parse-then-print. Advances are
+   drawn on the wire's 1ms grid — the format deliberately carries "%.3f"
+   (the engine's 5-minute Ally spacings and per-probe 1/pps steps are
+   all millisecond-exact), so sub-millisecond floats are out of its
+   domain. *)
+let gen_addr =
+  QCheck.Gen.(map (fun i -> Ipv4.of_int i) (int_bound 0xFFFFFFF))
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [ ( 3,
+          map3
+            (fun flow dst ttl -> Offload.Trace { flow; dst; ttl })
+            (int_bound 9999) gen_addr (int_range 1 255) );
+        (1, map (fun a -> Offload.Ping a) gen_addr);
+        (1, map (fun a -> Offload.Udp a) gen_addr);
+        ( 1,
+          map
+            (fun ms -> Offload.Advance (float_of_int ms /. 1000.0))
+            (int_bound 1_000_000_000) ) ])
+
+let arb_request =
+  QCheck.make ~print:Offload.request_to_line gen_request
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"offload request wire roundtrip" ~count:500
+    arb_request (fun r ->
+      let line = Offload.request_to_line r in
+      match Offload.request_of_line line with
+      | Error _ -> false
+      | Ok r' -> (
+        String.equal (Offload.request_to_line r') line
+        &&
+        match (r, r') with
+        | Offload.Advance a, Offload.Advance b ->
+          (* exact: every 1ms-grid value below 1e6 s is float-exact
+             through "%.3f" *)
+          Float.equal a b
+        | _ -> r = r'))
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [ return None;
+        map3
+          (fun src kind ipid ->
+            Some { Probesim.Engine.src; kind; ipid; responder = -1 })
+          gen_addr
+          (oneofl
+             [ Probesim.Engine.Ttl_expired; Probesim.Engine.Echo_reply;
+               Probesim.Engine.Dest_unreach ])
+          (int_bound 0xFFFF) ])
+
+let arb_reply = QCheck.make ~print:Offload.response_to_line gen_reply
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"offload response wire roundtrip" ~count:500
+    arb_reply (fun r ->
+      let line = Offload.response_to_line r in
+      match Offload.response_of_line line with
+      | Error _ -> false
+      | Ok r' -> String.equal (Offload.response_to_line r') line && r = r')
+
 let test_serve_error_path () =
   let w = Gen.generate Topogen.Scenario.tiny in
   let bgp =
@@ -110,6 +220,9 @@ let test_serve_error_path () =
 let suite =
   [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
     Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "strict wire parsing" `Quick test_strict_parsing;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
     Alcotest.test_case "offloaded collection equivalent" `Quick
       test_offloaded_collection_equivalent;
     Alcotest.test_case "serve error path" `Quick test_serve_error_path ]

@@ -59,7 +59,14 @@ let test_rate_limiting () =
       ~selective:w.Gen.selective
   in
   let fwd = Routing.Forwarding.create w.Gen.net bgp in
-  let engine = Probesim.Engine.create ~rate_limit_p:0.3 w fwd in
+  (* Migrated off the deprecated [rate_limit_p] argument: the fault
+     config's [legacy_rl_p] feeds the same dedicated RNG stream, so the
+     drop sequence (and this test's counts) are unchanged. *)
+  let engine =
+    Probesim.Engine.create
+      ~fault:{ (Probesim.Fault.of_profile w) with Probesim.Fault.legacy_rl_p = 0.3 }
+      w fwd
+  in
   let vp = List.hd w.vps in
   let dsts =
     List.filter_map

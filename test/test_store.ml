@@ -1,0 +1,298 @@
+(* The persistent run store: crash-safe entry format, typed miss
+   reasons, byte-identical warm starts of the pipeline, checkpoint/
+   resume semantics, and fallback-to-recompute on every corruption
+   shape the format guards against. *)
+
+module Gen = Topogen.Gen
+
+let dir_counter = ref 0
+
+(* A throwaway store directory per test, swept afterwards. *)
+let with_store f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bdrmap-store-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  let st = Store.open_dir dir in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Store.gc ~all:true st);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f st)
+
+let k s = Digest.to_hex (Digest.string s)
+
+let entry_path st key = Filename.concat (Store.dir st) (key ^ ".run")
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let test_blob_roundtrip () =
+  with_store (fun st ->
+      let key = k "blob-1" in
+      Alcotest.(check bool) "absent before write" true
+        (Store.read st ~key = Error Store.Absent);
+      let payload = "hello\x00world \xff bytes" in
+      let bytes = Store.write st ~key payload in
+      Alcotest.(check int) "entry size = header + payload" (64 + String.length payload) bytes;
+      Alcotest.(check bool) "read back" true (Store.read st ~key = Ok payload);
+      Alcotest.(check bool) "mem" true (Store.mem st ~key);
+      (match Store.entries st with
+      | [ (key', bytes', None) ] ->
+        Alcotest.(check string) "listed key" key key';
+        Alcotest.(check int) "listed size" bytes bytes'
+      | es -> Alcotest.fail (Printf.sprintf "unexpected listing (%d)" (List.length es)));
+      (* Overwrite is atomic replace, not append. *)
+      ignore (Store.write st ~key "v2");
+      Alcotest.(check bool) "overwritten" true (Store.read st ~key = Ok "v2");
+      Store.remove st ~key;
+      Alcotest.(check bool) "absent after remove" true
+        (Store.read st ~key = Error Store.Absent);
+      Alcotest.(check bool) "malformed key rejected" true
+        (try
+           ignore (Store.read st ~key:"../escape");
+           false
+         with Invalid_argument _ -> true))
+
+(* Each corruption shape the header guards against must surface as its
+   typed miss, never as a wrong payload or an exception. *)
+let test_corrupt_entries () =
+  with_store (fun st ->
+      let key = k "victim" in
+      let corrupt name munge expect =
+        ignore (Store.write st ~key "payload under test");
+        let path = entry_path st key in
+        write_bytes path (munge (read_bytes path));
+        Alcotest.(check bool) name true (Store.read st ~key = Error expect)
+      in
+      corrupt "truncated header" (fun s -> String.sub s 0 10) Store.Truncated;
+      corrupt "truncated payload"
+        (fun s -> String.sub s 0 (String.length s - 3))
+        Store.Truncated;
+      corrupt "bad magic"
+        (fun s -> "XXXX" ^ String.sub s 4 (String.length s - 4))
+        Store.Bad_magic;
+      corrupt "foreign version"
+        (fun s ->
+          let b = Bytes.of_string s in
+          Bytes.set b 7 '\x63';
+          Bytes.to_string b)
+        (Store.Bad_version 99);
+      corrupt "payload bit flip"
+        (fun s ->
+          let b = Bytes.of_string s in
+          Bytes.set b 70 (Char.chr (Char.code (Bytes.get b 70) lxor 1));
+          Bytes.to_string b)
+        Store.Corrupt;
+      (* An entry copied under another name: embedded key mismatch. *)
+      let other = k "other" in
+      ignore (Store.write st ~key "payload under test");
+      write_bytes (entry_path st other) (read_bytes (entry_path st key));
+      Alcotest.(check bool) "stale (renamed) entry" true
+        (Store.read st ~key:other = Error Store.Stale);
+      (* gc: sweeps the invalid entry and orphaned temp files, keeps the
+         valid one. *)
+      write_bytes (Filename.concat (Store.dir st) (key ^ ".run.tmp-1-0-0")) "torn";
+      let removed, kept = Store.gc st in
+      Alcotest.(check int) "gc removed stale + tmp" 2 removed;
+      Alcotest.(check int) "gc kept valid" 1 kept;
+      Alcotest.(check bool) "valid entry survived gc" true (Store.mem st ~key);
+      let removed, kept = Store.gc ~all:true st in
+      Alcotest.(check int) "gc --all removed" 1 removed;
+      Alcotest.(check int) "gc --all kept" 0 kept)
+
+(* -- pipeline-level tests, on the tiny world -- *)
+
+let tiny_env =
+  lazy
+    (let w = Gen.generate Topogen.Scenario.tiny in
+     let _bgp, _fwd, _engine, inputs = Bdrmap.Pipeline.setup w in
+     (w, inputs))
+
+let fingerprint (r : Bdrmap.Pipeline.run) =
+  Bdrmap.Output.collection_to_lines r.Bdrmap.Pipeline.collection
+  @ Bdrmap.Output.links_to_lines r.Bdrmap.Pipeline.graph
+      r.Bdrmap.Pipeline.inference
+  @ [ Printf.sprintf "probes=%d" r.Bdrmap.Pipeline.probes ]
+
+let counters () =
+  let ms = Obs.Metrics.collect () in
+  ( Obs.Metrics.find_counter ms "store.hits",
+    Obs.Metrics.find_counter ms "store.misses",
+    Obs.Metrics.find_counter ms "store.writes" )
+
+let with_counters f =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.disable ())
+    f
+
+let test_warm_byte_identity () =
+  let w, inputs = Lazy.force tiny_env in
+  let vps = w.Gen.vps in
+  let baseline =
+    List.map fingerprint (Bdrmap.Pipeline.execute_all w inputs ~vps)
+  in
+  with_store (fun st ->
+      with_counters (fun () ->
+          let cold =
+            List.map fingerprint
+              (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps)
+          in
+          let h, m, wr = counters () in
+          Alcotest.(check int) "cold: no hits" 0 h;
+          Alcotest.(check int) "cold: one miss per vp" (List.length vps) m;
+          Alcotest.(check int) "cold: one write per vp" (List.length vps) wr;
+          Alcotest.(check bool) "cold = no-store" true (cold = baseline);
+          Obs.Metrics.reset ();
+          let warm =
+            List.map fingerprint
+              (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps)
+          in
+          let h, m, wr = counters () in
+          Alcotest.(check int) "warm: one hit per vp" (List.length vps) h;
+          Alcotest.(check int) "warm: no misses" 0 m;
+          Alcotest.(check int) "warm: no writes" 0 wr;
+          Alcotest.(check bool) "warm = cold" true (warm = cold);
+          (* Warm over a pool: hits from worker domains, same bytes. *)
+          Obs.Metrics.reset ();
+          let warm_pooled =
+            Netcore.Pool.with_pool ~domains:2 (fun pool ->
+                List.map fingerprint
+                  (Bdrmap.Pipeline.execute_all ~pool ~store:st w inputs ~vps))
+          in
+          let h, _, _ = counters () in
+          Alcotest.(check int) "warm pooled: one hit per vp" (List.length vps) h;
+          Alcotest.(check bool) "warm pooled = cold" true (warm_pooled = cold)))
+
+let test_checkpoint_resume () =
+  let w, inputs = Lazy.force tiny_env in
+  let vps = w.Gen.vps in
+  let first = [ List.hd vps ] in
+  with_store (fun st ->
+      with_counters (fun () ->
+          (* A sweep that died after one VP left exactly that VP's
+             checkpoint behind... *)
+          ignore (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps:first);
+          let cfg =
+            Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns
+          in
+          List.iteri
+            (fun i vp ->
+              Alcotest.(check bool)
+                (Printf.sprintf "vp %d checkpointed iff completed" i)
+                (i = 0)
+                (Store.mem st
+                   ~key:(Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp)))
+            vps;
+          (* ...and the re-run reuses it instead of recomputing. *)
+          Obs.Metrics.reset ();
+          ignore (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps);
+          let h, m, wr = counters () in
+          Alcotest.(check int) "resume: completed vp hit" 1 h;
+          Alcotest.(check int) "resume: remaining vps missed"
+            (List.length vps - 1)
+            m;
+          Alcotest.(check int) "resume: remaining vps checkpointed"
+            (List.length vps - 1)
+            wr))
+
+(* Corrupting a checkpoint (or leaving one from an incompatible config)
+   must silently degrade to recomputation with unchanged output, and the
+   recompute heals the entry. *)
+let test_corruption_falls_back_to_recompute () =
+  let w, inputs = Lazy.force tiny_env in
+  let vps = w.Gen.vps in
+  let cfg = Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns in
+  let vp0_key = Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:(List.hd vps) in
+  with_store (fun st ->
+      with_counters (fun () ->
+          let cold =
+            List.map fingerprint
+              (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps)
+          in
+          let flip path =
+            let s = read_bytes path in
+            let b = Bytes.of_string s in
+            let i = String.length s - 1 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+            write_bytes path (Bytes.to_string b)
+          in
+          flip (entry_path st vp0_key);
+          Alcotest.(check bool) "entry is corrupt" true
+            (Store.read st ~key:vp0_key = Error Store.Corrupt);
+          Obs.Metrics.reset ();
+          let healed =
+            List.map fingerprint
+              (Bdrmap.Pipeline.execute_all ~store:st w inputs ~vps)
+          in
+          let h, m, wr = counters () in
+          Alcotest.(check bool) "output unchanged through corruption" true
+            (healed = cold);
+          Alcotest.(check int) "corrupt entry counted as miss" 1 m;
+          Alcotest.(check int) "other vps hit" (List.length vps - 1) h;
+          Alcotest.(check int) "recompute healed the entry" 1 wr;
+          Alcotest.(check bool) "entry valid again" true
+            (Store.mem st ~key:vp0_key)))
+
+(* The experiments' crossing-link sweeps use the same store through
+   [Run_store.memo]: warm equals cold equals store-less, and the second
+   sweep is all hits. *)
+let test_crossing_links_memo () =
+  let env = Experiments.Exp_common.make Topogen.Scenario.tiny in
+  let prefixes = Experiments.Exp_common.external_prefixes env in
+  let baseline = Experiments.Exp_common.crossing_links_by_vp env prefixes in
+  with_store (fun st ->
+      with_counters (fun () ->
+          let cold = Experiments.Exp_common.crossing_links_by_vp ~store:st env prefixes in
+          Alcotest.(check bool) "cold = no-store" true (cold = baseline);
+          Obs.Metrics.reset ();
+          let warm = Experiments.Exp_common.crossing_links_by_vp ~store:st env prefixes in
+          let h, m, _ = counters () in
+          Alcotest.(check bool) "warm = cold" true (warm = cold);
+          Alcotest.(check int) "warm: one hit per vp"
+            (List.length env.Experiments.Exp_common.world.Gen.vps)
+            h;
+          Alcotest.(check int) "warm: no misses" 0 m))
+
+let test_key_sensitivity () =
+  let w, inputs = Lazy.force tiny_env in
+  let cfg = Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns in
+  let vp0 = List.hd w.Gen.vps in
+  let key = Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0 in
+  Alcotest.(check string) "key is deterministic" key
+    (Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0);
+  Alcotest.(check bool) "pps changes the key" true
+    (key <> Bdrmap.Run_store.key ~world:w ~pps:50.0 ~cfg ~vp:vp0);
+  let cfg' = { cfg with Bdrmap.Config.gap_limit = cfg.Bdrmap.Config.gap_limit + 1 } in
+  Alcotest.(check bool) "config changes the key" true
+    (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg:cfg' ~vp:vp0);
+  match w.Gen.vps with
+  | _ :: vp1 :: _ ->
+    Alcotest.(check bool) "vp changes the key" true
+      (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp1)
+  | _ -> ()
+
+let suite =
+  [ Alcotest.test_case "blob roundtrip" `Quick test_blob_roundtrip;
+    Alcotest.test_case "corrupt entries" `Quick test_corrupt_entries;
+    Alcotest.test_case "warm byte identity" `Slow test_warm_byte_identity;
+    Alcotest.test_case "checkpoint resume" `Slow test_checkpoint_resume;
+    Alcotest.test_case "corruption falls back to recompute" `Slow
+      test_corruption_falls_back_to_recompute;
+    Alcotest.test_case "crossing-links memo" `Slow test_crossing_links_memo;
+    Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity ]
