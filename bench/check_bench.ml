@@ -1,0 +1,63 @@
+(* Post-hoc assertions over a bench-quick BENCH.json, attached to the
+   runtest alias: the snapshot must have been built at most once per
+   multi-VP sweep (a per-worker rebuild would show builds exceeding the
+   sweep count), every computed VP must have attached to a shared
+   snapshot, and the schema-5 GC fields must be present. Plain string
+   scanning — the emitter writes one object per line, and pulling in a
+   JSON parser for five assertions is not worth a dependency. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then false else String.sub s i m = sub || go (i + 1) in
+  m = 0 || go 0
+
+(* The metrics block emits counters as
+   {"name": "<name>", "total": <n>}; absent counter = 0. *)
+let counter json name =
+  let marker = Printf.sprintf "{\"name\": \"%s\", \"total\": " name in
+  let n = String.length json and m = String.length marker in
+  let rec find i = if i + m > n then None else if String.sub json i m = marker then Some (i + m) else find (i + 1) in
+  match find 0 with
+  | None -> 0
+  | Some i ->
+    let j = ref i in
+    while !j < n && json.[!j] >= '0' && json.[!j] <= '9' do incr j done;
+    int_of_string (String.sub json i (!j - i))
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
+  let json = read_file path in
+  if not (contains ~sub:"\"schema\": \"bdrmap-bench/5\"" json) then
+    fail "schema is not bdrmap-bench/5";
+  List.iter
+    (fun field ->
+      if not (contains ~sub:(Printf.sprintf "\"%s\":" field) json) then
+        fail "experiments rows are missing the GC counter field %S" field)
+    [ "gc_minor_words"; "gc_major_words"; "gc_compactions" ];
+  if not (contains ~sub:"\"stage\": \"freeze\"" json) then
+    fail "no \"freeze\" stage row: snapshot freeze was never traced";
+  let builds = counter json "routing.snapshot.builds" in
+  let attaches = counter json "routing.snapshot.attaches" in
+  let sweeps = counter json "pipeline.sweeps" in
+  let crossing = counter json "pipeline.crossing_sweeps" in
+  let vp_computes = counter json "pipeline.vp_computes" in
+  if builds < 1 then fail "snapshot was never built (routing.snapshot.builds = 0)";
+  if builds > sweeps + crossing then
+    fail
+      "snapshot rebuilt per worker: %d builds for %d execute_all sweeps + %d pooled \
+       crossing sweeps"
+      builds sweeps crossing;
+  if vp_computes > 0 && attaches < vp_computes then
+    fail "%d computed VPs but only %d snapshot attaches — a worker bypassed the shared snapshot"
+      vp_computes attaches;
+  Printf.printf
+    "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes)\n" builds
+    (sweeps + crossing) attaches vp_computes

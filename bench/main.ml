@@ -31,14 +31,34 @@ let jobs =
 let banner title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
 
-(* Wall-clock timings collected for BENCH.json: (name, seconds). *)
-let wall_times : (string * float) list ref = ref []
+(* Wall-clock + GC accounting per timed region, collected for
+   BENCH.json. GC deltas come from [Gc.quick_stat] (no heap walk), so
+   the measurement itself stays cheap; allocation volume is what the
+   snapshot/plan sharing is supposed to cut, so it is tracked next to
+   wall time. *)
+type row = {
+  r_name : string;
+  r_wall_s : float;
+  r_minor_words : float;
+  r_major_words : float;
+  r_compactions : int;
+}
+
+let wall_times : row list ref = ref []
 
 let timed name f =
+  let g0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
-  wall_times := (name, dt) :: !wall_times;
+  let g1 = Gc.quick_stat () in
+  wall_times :=
+    { r_name = name;
+      r_wall_s = dt;
+      r_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      r_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      r_compactions = g1.Gc.compactions - g0.Gc.compactions }
+    :: !wall_times;
   Printf.printf "[%s: %.2fs]\n%!" name dt;
   r
 
@@ -135,6 +155,34 @@ let store_comparison pool =
           ignore (Experiments.Exp_resource.run ~scale ?pool ~store ()));
       timed "resource-warm-store" (fun () ->
           ignore (Experiments.Exp_resource.run ~scale ?pool ~store ())))
+
+(* Cold vs warm shared routing snapshot on a full multi-VP pipeline
+   sweep: the cold pass freezes inside [execute_all]; the warm pass is
+   handed a prebuilt snapshot + plan, so its rows isolate the pure
+   per-VP cost the sharing leaves behind. The freeze itself is timed
+   separately. *)
+let snapshot_comparison () =
+  banner "Shared routing snapshot: cold vs warm";
+  let env =
+    Experiments.Exp_common.make (Topogen.Scenario.small_access ~scale ())
+  in
+  let w = env.Experiments.Exp_common.world in
+  let inputs = env.Experiments.Exp_common.inputs in
+  let vps = w.Topogen.Gen.vps in
+  let n_vps = List.length vps in
+  let shared =
+    timed "snapshot-freeze" (fun () -> Bdrmap.Pipeline.freeze_routing w)
+  in
+  timed "sweep-cold-snapshot" (fun () ->
+      ignore (Bdrmap.Pipeline.execute_all w inputs ~vps));
+  timed "sweep-warm-snapshot" (fun () ->
+      ignore (Bdrmap.Pipeline.execute_all ~shared w inputs ~vps));
+  match !wall_times with
+  | warm :: cold :: _ ->
+    Printf.printf "per-VP (%d VPs): cold %.3fs, warm %.3fs\n%!" n_vps
+      (cold.r_wall_s /. float_of_int n_vps)
+      (warm.r_wall_s /. float_of_int n_vps)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the pipeline stages.                            *)
@@ -286,6 +334,17 @@ let write_bench_json path =
     Printf.sprintf "  %S: [\n%s\n  ]" key
       (String.concat ",\n" (List.map (fun e -> "    " ^ item fmt e) entries))
   in
+  let experiments_block =
+    let row r =
+      Printf.sprintf
+        "    {\"name\": \"%s\", \"wall_s\": %.6f, \"gc_minor_words\": %.0f, \
+         \"gc_major_words\": %.0f, \"gc_compactions\": %d}"
+        (json_escape r.r_name) r.r_wall_s r.r_minor_words r.r_major_words
+        r.r_compactions
+    in
+    Printf.sprintf "  \"experiments\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row (List.rev !wall_times)))
+  in
   let robustness_block =
     let row (r : Experiments.Exp_robustness.row) =
       Printf.sprintf
@@ -325,10 +384,8 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/4\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
-    scale jobs
-    (block "experiments" "{\"name\": \"%s\", \"wall_s\": %.6f}" (List.rev !wall_times))
-    robustness_block stages_block metrics_block
+    "{\n  \"schema\": \"bdrmap-bench/5\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    scale jobs experiments_block robustness_block stages_block metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -347,6 +404,7 @@ let () =
     experiments None;
     robustness ();
     store_comparison None;
+    snapshot_comparison ();
     snapshot_obs ();
     micro ();
     finish ()
@@ -358,6 +416,7 @@ let () =
         robustness ();
         parallel_comparison pool;
         store_comparison pool;
+        snapshot_comparison ();
         snapshot_obs ();
         micro ();
         finish ())

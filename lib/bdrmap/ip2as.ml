@@ -16,6 +16,11 @@ type t = {
   dels : B.Delegation.t;
   vp_asns : Asn.Set.t;
   host_orgs : SSet.t;  (* delegation opaque-ids of space the host routes *)
+  memo : cls Ipv4.Tbl.t;
+      (* per-run classification memo: every input is immutable after
+         [create], so the class of an address never changes — and the
+         collection loop classifies the same hop addresses over and
+         over. Private to this instance; never shared across domains. *)
 }
 
 let create ~rib ~ixp ~delegations ~vp_asns =
@@ -30,9 +35,9 @@ let create ~rib ~ixp ~delegations ~vp_asns =
       SSet.empty
       (B.Rib.prefixes_originated_by rib vp_asns)
   in
-  { rib; ixp; dels = delegations; vp_asns; host_orgs }
+  { rib; ixp; dels = delegations; vp_asns; host_orgs; memo = Ipv4.Tbl.create 4096 }
 
-let classify t a =
+let classify_uncached t a =
   if Ipv4.reserved a || Ipv4.private_use a then Reserved
   else
     match B.Ixp.ixp_of t.ixp a with
@@ -45,6 +50,14 @@ let classify t a =
         | Some _ | None -> Unrouted)
       else if not (Asn.Set.disjoint origins t.vp_asns) then Host
       else External origins)
+
+let classify t a =
+  match Ipv4.Tbl.find_opt t.memo a with
+  | Some c -> c
+  | None ->
+    let c = classify_uncached t a in
+    Ipv4.Tbl.add t.memo a c;
+    c
 
 let origins t a = B.Rib.origin_asns t.rib a
 

@@ -84,33 +84,62 @@ let setup ?(pps = 100.0) (w : Gen.world) =
 
 (* Force the lazily built indices of the structures that parallel
    vantage-point runs share read-only (the topology's adjacency arrays,
-   the delegation index), so no worker domain ever writes to them. *)
+   the delegation index, the RIB's flattened LPM), so no worker domain
+   ever writes to them. *)
 let freeze_shared (w : Gen.world) inputs =
   if Topogen.Net.router_count w.Gen.net > 0 then
     ignore (Topogen.Net.neighbors w.Gen.net 0);
-  ignore (B.Delegation.find inputs.delegations Ipv4.zero)
+  ignore (B.Delegation.find inputs.delegations Ipv4.zero);
+  B.Rib.freeze inputs.rib
 
-let execute_all ?cfg ?pool ?store ?(pps = 100.0) (w : Gen.world) inputs ~vps =
-  let originated = Gen.originated w in
+(* The shared routing state for a multi-VP sweep: one frozen BGP
+   snapshot plus one frozen forwarding plan, both pure immutable data.
+   Built once before fan-out; every worker attaches by reference and
+   keeps only its private cold-path caches. *)
+type shared = {
+  snapshot : Routing.Bgp.snapshot;
+  plan : Routing.Forwarding.plan;
+}
+
+let freeze_routing (w : Gen.world) =
+  Obs.Span.with_span ~stage:"freeze" ~vp:"shared" (fun () ->
+      let bgp =
+        Routing.Bgp.create w.Gen.net w.Gen.rels_truth
+          ~originated:(Gen.originated w) ~selective:w.Gen.selective
+      in
+      let snapshot = Routing.Bgp.freeze bgp in
+      let fwd =
+        Routing.Forwarding.create w.Gen.net (Routing.Bgp.of_snapshot snapshot)
+      in
+      let plan = Routing.Forwarding.freeze ~egress_for:w.Gen.siblings fwd in
+      { snapshot; plan })
+
+let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs ~vps =
+  Obs.Metrics.incr "pipeline.sweeps";
   (* The store key must cover everything the run is a function of, so
      resolve the effective config here rather than letting [execute]
      default it per call. *)
   let cfg =
     match cfg with Some c -> c | None -> Config.default ~vp_asns:inputs.vp_asns
   in
-  (* Each vantage point gets a private routing/probing stack: the BGP
-     route cache, forwarding memos and the engine's clock, probe
-     counter, path cache, RNG and IP-ID state are all mutable, so none
-     of them may be shared across domains.  A fresh engine per VP also
-     makes every VP's run independent of scheduling, which is what keeps
-     the output byte-identical whatever the pool size (including no pool
-     at all). *)
+  (* Routing state is a pure function of the world, never of the
+     vantage point, so every VP shares one frozen snapshot + plan and
+     the per-VP stack shrinks to what is genuinely per-VP mutable: the
+     engine's clock, probe counter, path cache, RNG and IP-ID state,
+     plus thin private caches over the frozen data. The laziness keeps
+     fully store-warm sweeps from paying a freeze they will never use;
+     under a pool it is forced before fan-out ([Lazy.force] is not
+     domain-safe). *)
+  let shared =
+    match shared with
+    | Some s -> lazy s
+    | None -> lazy (freeze_routing w)
+  in
   let compute vp =
-    let bgp =
-      Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated
-        ~selective:w.Gen.selective
-    in
-    let fwd = Routing.Forwarding.create w.Gen.net bgp in
+    Obs.Metrics.incr "pipeline.vp_computes";
+    let s = Lazy.force shared in
+    let bgp = Routing.Bgp.of_snapshot s.snapshot in
+    let fwd = Routing.Forwarding.create ~plan:s.plan w.Gen.net bgp in
     let engine = Engine.create ~pps w fwd in
     execute ~cfg engine inputs ~vp
   in
@@ -154,4 +183,5 @@ let execute_all ?cfg ?pool ?store ?(pps = 100.0) (w : Gen.world) inputs ~vps =
   | None -> List.map run_vp vps
   | Some pool ->
     freeze_shared w inputs;
+    ignore (Lazy.force shared);
     Pool.map pool run_vp vps

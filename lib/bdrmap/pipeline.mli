@@ -41,23 +41,44 @@ val execute : ?cfg:Config.t -> Engine.t -> inputs -> vp:Gen.vp -> run
 val setup :
   ?pps:float -> Gen.world -> Routing.Bgp.t * Routing.Forwarding.t * Engine.t * inputs
 
+(** The shared routing state of a multi-VP sweep: one frozen BGP
+    snapshot plus one frozen forwarding plan. Pure immutable data —
+    built once, attached by reference from every worker domain. *)
+type shared = {
+  snapshot : Routing.Bgp.snapshot;
+  plan : Routing.Forwarding.plan;
+}
+
+(** [freeze_routing w] builds the shared routing state for [w]: the
+    frozen per-prefix BGP tables and the forwarding plan (egress
+    precomputed for the VP-owning ASes). Traced as the ["freeze"]
+    stage; the snapshot build is counted under
+    [routing.snapshot.builds]. *)
+val freeze_routing : Gen.world -> shared
+
 (** [execute_all ?pool w inputs ~vps] runs the full pipeline from every
     vantage point in [vps], on [pool]'s worker domains when one is
-    given, and returns the runs in [vps] order.  Every VP gets a
-    private BGP cache / forwarding memo / probing engine (their mutable
-    state must never cross domains), so the result is byte-identical
-    whatever the pool size — parallelism only changes wall-clock.
+    given, and returns the runs in [vps] order.  Routing state is a
+    pure function of the world, so all VPs answer from one frozen
+    snapshot + plan ([shared], built lazily by {!freeze_routing} when
+    not supplied — pass one to amortize it across sweeps); what stays
+    per-VP is the genuinely mutable probing stack (engine clock, probe
+    counter, path cache, RNG, IP-ID state) plus thin private caches, so
+    the result is byte-identical whatever the pool size — parallelism
+    only changes wall-clock.
 
     [store] adds persistent per-VP checkpointing through {!Run_store}:
     each VP's completed run is snapshotted as soon as it finishes, a
     warm invocation deserializes instead of recomputing (byte-identical
     by the determinism above), and a run killed mid-sweep resumes from
     the last completed VP. Corrupt or stale entries fall back to
-    recomputation. *)
+    recomputation. A fully store-warm sweep without a pool never forces
+    the freeze. *)
 val execute_all :
   ?cfg:Config.t ->
   ?pool:Pool.t ->
   ?store:Store.t ->
+  ?shared:shared ->
   ?pps:float ->
   Gen.world ->
   inputs ->

@@ -1,11 +1,34 @@
 open Netcore
 
 type entry = { origins : Asn.Set.t; paths : As_path.t list }
-type t = { trie : entry Ptrie.t; count : int }
 
-let empty = { trie = Ptrie.empty; count = 0 }
+(* [idx] is a flattened LPM over the trie, built once the table stops
+   changing and the address-lookup path gets hot. Set-once: every
+   functional update returns a record with [idx = None], and concurrent
+   builders would install structurally equal values (a benign word-sized
+   race); [freeze] forces it before any domain fan-out anyway. *)
+type t = { trie : entry Ptrie.t; count : int; mutable idx : entry Lpm.t option }
+
+let empty = { trie = Ptrie.empty; count = 0; idx = None }
 let min_len = 8
 let max_len = 24
+
+(* Below this size the bit-per-node walk beats paying the 65536-slot
+   root fill for a table that may be probed a handful of times. *)
+let idx_threshold = 4
+
+let index t =
+  match t.idx with
+  | Some idx -> Some idx
+  | None ->
+    if t.count < idx_threshold then None
+    else begin
+      let idx = Lpm.build (Ptrie.bindings t.trie) in
+      t.idx <- Some idx;
+      Some idx
+    end
+
+let freeze t = ignore (index t)
 
 let add_route t prefix path =
   if Prefix.len prefix < min_len || Prefix.len prefix > max_len then t
@@ -24,7 +47,7 @@ let add_route t prefix path =
               Some { origins = Asn.Set.add origin e.origins; paths = path :: e.paths })
           t.trie
       in
-      { trie; count = (if !fresh then t.count + 1 else t.count) }
+      { trie; count = (if !fresh then t.count + 1 else t.count); idx = None }
 
 let prefixes t = List.map fst (Ptrie.bindings t.trie)
 let cardinal t = t.count
@@ -42,9 +65,15 @@ let paths t p =
 let all_paths t = Ptrie.fold (fun _ e acc -> List.rev_append e.paths acc) t.trie []
 
 let lpm t addr =
-  match Ptrie.lpm addr t.trie with
-  | Some (p, e) -> Some (p, e.origins)
-  | None -> None
+  match index t with
+  | Some idx -> (
+    match Lpm.lookup idx addr with
+    | Some (p, e) -> Some (p, e.origins)
+    | None -> None)
+  | None -> (
+    match Ptrie.lpm addr t.trie with
+    | Some (p, e) -> Some (p, e.origins)
+    | None -> None)
 
 let origin_asns t addr =
   match lpm t addr with

@@ -32,6 +32,12 @@ val all_paths : t -> As_path.t list
 (** [lpm t addr] is the longest matching routed prefix and its origins. *)
 val lpm : t -> Ipv4.t -> (Prefix.t * Asn.Set.t) option
 
+(** [freeze t] forces the flattened LPM index behind [lpm]/
+    [origin_asns] so later lookups — from any domain — are read-only.
+    Idempotent; a no-op on tables too small to benefit. Any
+    [add_route] after a freeze returns a fresh unfrozen table. *)
+val freeze : t -> unit
+
 (** [origin_asns t addr] is the origin set of the longest match, or the
     empty set when [addr] is unrouted. *)
 val origin_asns : t -> Ipv4.t -> Asn.Set.t

@@ -92,19 +92,16 @@ let crossing_links_by_vp ?pool ?store env prefixes =
       w.Gen.vps
   | Some pool ->
     Bdrmap.Pipeline.freeze_shared w env.inputs;
-    let originated = Gen.originated w in
-    (* Forwarding memos (IGP distances, egress choices) and the BGP
-       route cache are mutable, so each worker domain builds its own
-       stack once per batch and reuses it for all the VPs it draws.
-       Path computation is a pure function of the world, so the result
-       does not depend on which domain served which VP. *)
+    Obs.Metrics.incr "pipeline.crossing_sweeps";
+    (* One frozen snapshot + plan serves every worker; the per-domain
+       init shrinks to attaching the shared state behind thin private
+       caches. Path computation is a pure function of the world, so the
+       result does not depend on which domain served which VP. *)
+    let shared = Bdrmap.Pipeline.freeze_routing w in
     Netcore.Pool.map_init pool
       ~init:(fun () ->
-        let bgp =
-          Routing.Bgp.create w.Gen.net w.Gen.rels_truth ~originated
-            ~selective:w.Gen.selective
-        in
-        Routing.Forwarding.create w.Gen.net bgp)
+        let bgp = Routing.Bgp.of_snapshot shared.Bdrmap.Pipeline.snapshot in
+        Routing.Forwarding.create ~plan:shared.Bdrmap.Pipeline.plan w.Gen.net bgp)
       (fun fwd vp ->
         memo vp (fun () ->
             List.map

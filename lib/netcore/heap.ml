@@ -1,0 +1,80 @@
+(* Array-backed binary min-heap. Replaces the [Set.Make]-as-priority-
+   queue pattern in the Dijkstra loops: no per-operation rebalancing
+   allocation, O(1) peek, and duplicates are allowed (callers that relax
+   keys push again and skip stale entries on pop, which is cheaper than
+   a decrease-key). *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable a : 'a array;  (* slots [0, n) are live; the rest are garbage *)
+  mutable n : int;
+}
+
+let create cmp = { cmp; a = [||]; n = 0 }
+let length t = t.n
+let is_empty t = t.n = 0
+
+(* Dropping [n] keeps the stale elements reachable from [a], but every
+   caller either drains the heap or discards it right after. *)
+let clear t = t.n <- 0
+
+let grow t x =
+  if t.n = Array.length t.a then begin
+    let cap = max 16 (2 * t.n) in
+    let a = Array.make cap x in
+    Array.blit t.a 0 a 0 t.n;
+    t.a <- a
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.a.(i) t.a.(parent) < 0 then begin
+      let tmp = t.a.(i) in
+      t.a.(i) <- t.a.(parent);
+      t.a.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let push t x =
+  grow t x;
+  t.a.(t.n) <- x;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.n then begin
+    let r = l + 1 in
+    let m = if r < t.n && t.cmp t.a.(r) t.a.(l) < 0 then r else l in
+    if t.cmp t.a.(m) t.a.(i) < 0 then begin
+      let tmp = t.a.(i) in
+      t.a.(i) <- t.a.(m);
+      t.a.(m) <- tmp;
+      sift_down t m
+    end
+  end
+
+let peek_opt t = if t.n = 0 then None else Some t.a.(0)
+
+let pop_opt t =
+  if t.n = 0 then None
+  else begin
+    let root = t.a.(0) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.a.(0) <- t.a.(t.n);
+      sift_down t 0
+    end;
+    Some root
+  end
+
+let of_list cmp l =
+  let t = create cmp in
+  List.iter (push t) l;
+  t
+
+let to_sorted_list t =
+  let rec drain acc = match pop_opt t with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []

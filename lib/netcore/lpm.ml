@@ -1,0 +1,104 @@
+(* Flattened longest-prefix-match table: a 16-bit-stride root array over
+   a frozen prefix set. [Ptrie] walks one bit per node — ~32 pointer
+   chases per lookup on the hot classify path; here a lookup is one
+   array index plus a scan of the (almost always tiny) per-slot bucket
+   of >/16 prefixes. Built once at freeze time, immutable after. *)
+
+type 'a t = {
+  pfx : Prefix.t array;  (* sorted by [Prefix.compare]; parallel to [values] *)
+  values : 'a array;
+  short : int array;  (* 65536 slots: index of the longest <=/16 prefix covering the slot, or -1 *)
+  long : int array array;  (* per-slot indices of >/16 prefixes, longest first *)
+}
+
+let slots = 1 lsl 16
+let slot_of addr = Ipv4.to_int addr lsr 16
+
+let length t = Array.length t.pfx
+
+let build bindings =
+  (* Sort by prefix; among duplicate keys the later binding wins,
+     mirroring [Ptrie.add] overwrite semantics. *)
+  let sorted = List.stable_sort (fun (p, _) (q, _) -> Prefix.compare p q) bindings in
+  let rec dedupe = function
+    | (p, _) :: ((q, _) :: _ as rest) when Prefix.equal p q -> dedupe rest
+    | x :: rest -> x :: dedupe rest
+    | [] -> []
+  in
+  let uniq = dedupe sorted in
+  let pfx = Array.of_list (List.map fst uniq) in
+  let values = Array.of_list (List.map snd uniq) in
+  let short = Array.make slots (-1) in
+  let long = Array.make slots [||] in
+  (* Short prefixes cover a contiguous slot range; fill in increasing
+     length so a more-specific prefix overwrites the less-specific one
+     and each slot ends up holding its longest <=/16 cover. *)
+  let by_len = Array.init (Array.length pfx) (fun i -> i) in
+  Array.sort (fun i j -> Int.compare (Prefix.len pfx.(i)) (Prefix.len pfx.(j))) by_len;
+  let buckets = Array.make slots [] in
+  Array.iter
+    (fun i ->
+      let p = pfx.(i) in
+      if Prefix.len p <= 16 then
+        for s = slot_of (Prefix.first p) to slot_of (Prefix.last p) do
+          short.(s) <- i
+        done
+      else
+        (* All addresses of a >/16 prefix share the top 16 bits. *)
+        let s = slot_of (Prefix.network p) in
+        buckets.(s) <- i :: buckets.(s))
+    by_len;
+  Array.iteri
+    (fun s b ->
+      match b with
+      | [] -> ()
+      | b ->
+        let a = Array.of_list b in
+        (* Longest first, so the first [Prefix.mem] hit is the LPM.
+           Equal-length prefixes in a slot are disjoint, so their
+           relative order cannot matter; break ties on the network to
+           keep the structure a pure function of the prefix set. *)
+        Array.sort
+          (fun i j ->
+            match Int.compare (Prefix.len pfx.(j)) (Prefix.len pfx.(i)) with
+            | 0 -> Prefix.compare pfx.(i) pfx.(j)
+            | c -> c)
+          a;
+        long.(s) <- a)
+    buckets;
+  { pfx; values; short; long }
+
+let lookup t addr =
+  let s = slot_of addr in
+  let bucket = t.long.(s) in
+  let n = Array.length bucket in
+  let rec scan k =
+    if k >= n then
+      let i = t.short.(s) in
+      (* A <=/16 prefix covering this slot covers every address in it,
+         so no membership test is needed. *)
+      if i < 0 then None else Some (t.pfx.(i), t.values.(i))
+    else
+      let i = bucket.(k) in
+      if Prefix.mem addr t.pfx.(i) then Some (t.pfx.(i), t.values.(i)) else scan (k + 1)
+  in
+  scan 0
+
+let find_exact t p =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      match Prefix.compare p t.pfx.(mid) with
+      | 0 -> Some t.values.(mid)
+      | c when c < 0 -> go lo mid
+      | _ -> go (mid + 1) hi
+  in
+  go 0 (Array.length t.pfx)
+
+let fold f t acc =
+  let acc = ref acc in
+  for i = 0 to Array.length t.pfx - 1 do
+    acc := f t.pfx.(i) t.values.(i) !acc
+  done;
+  !acc

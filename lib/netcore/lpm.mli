@@ -1,0 +1,30 @@
+(** Flattened longest-prefix-match table over a frozen prefix set.
+
+    A 16-bit-stride root array: prefixes of length <= 16 are expanded
+    into the slots they cover (longest cover wins per slot); longer
+    prefixes live in tiny per-slot buckets sorted longest-first. Lookup
+    is one array index plus a short bucket scan — the fast-path
+    replacement for a bit-per-node {!Ptrie} walk once the prefix set
+    stops changing. The structure is immutable after {!build} and safe
+    to share across domains. *)
+
+type 'a t
+
+(** [build bindings] freezes [bindings] into a lookup table. Among
+    duplicate prefixes the later binding wins (mirroring [Ptrie.add]).
+    Cost: O(n log n) plus the 65536-slot root fill. *)
+val build : (Prefix.t * 'a) list -> 'a t
+
+(** [lookup t addr] is the longest prefix in [t] containing [addr],
+    with its value — semantically identical to [Ptrie.lpm addr] over
+    the same bindings. *)
+val lookup : 'a t -> Ipv4.t -> (Prefix.t * 'a) option
+
+(** [find_exact t p] is the value bound to exactly [p], if any. *)
+val find_exact : 'a t -> Prefix.t -> 'a option
+
+(** Number of (deduplicated) prefixes frozen into the table. *)
+val length : 'a t -> int
+
+(** [fold f t acc] folds over bindings in [Prefix.compare] order. *)
+val fold : (Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

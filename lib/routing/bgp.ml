@@ -11,13 +11,39 @@ type route = {
   parent : Asn.t option;
 }
 
+(* A frozen snapshot is pure immutable data: every originated prefix's
+   route table computed once and flattened into dense arrays (prefix
+   index x interned-ASN slot), plus a flattened LPM over the origin
+   set. Nothing in it is ever written after [freeze], so a snapshot is
+   safe to share by reference across pool domains. *)
+type snapshot = {
+  s_net : Net.t;
+  s_rels : B.As_rel.t;
+  s_origin_trie : Asn.Set.t Ptrie.t;
+  s_originated : (Prefix.t * Asn.Set.t) list;
+  s_selective : int list Prefix.Map.t Asn.Map.t;
+  s_prefixes : Prefix.t list;  (* sorted, deduplicated *)
+  s_asns : Asn.t array;  (* sorted interning table: ASN -> slot by binary search *)
+  s_pfx : Prefix.t array;  (* = s_prefixes, for binary search *)
+  s_tables : route option array array;  (* s_tables.(prefix slot).(asn slot) *)
+  s_lpm : Asn.Set.t Lpm.t;  (* flattened origin_trie *)
+}
+
 type t = {
   net : Net.t;
   rels : B.As_rel.t;
   origin_trie : Asn.Set.t Ptrie.t;
   originated : (Prefix.t * Asn.Set.t) list;
   selective : int list Prefix.Map.t Asn.Map.t;
-  cache : (Prefix.t, route Asn.Tbl.t) Hashtbl.t;
+  prefixes_memo : Prefix.t list;
+  frozen : snapshot option;
+  (* Two-generation route-table cache (young/old with promote-on-hit),
+     same shape as [Engine]'s fpath cache: when the young generation
+     fills, it becomes the old one and only the previous old generation
+     is dropped — a sweep over >192 prefixes keeps its working set
+     instead of restarting from an empty table every 192 misses. *)
+  mutable young : (Prefix.t, route Asn.Tbl.t) Hashtbl.t;
+  mutable old_gen : (Prefix.t, route Asn.Tbl.t) Hashtbl.t;
   mutable cache_hits : int;
 }
 
@@ -35,9 +61,11 @@ let create net rels ~originated ~selective =
       Ptrie.empty originated
   in
   { net; rels; origin_trie; originated; selective;
-    cache = Hashtbl.create 256; cache_hits = 0 }
+    prefixes_memo = List.sort_uniq Prefix.compare (List.map fst originated);
+    frozen = None;
+    young = Hashtbl.create 256; old_gen = Hashtbl.create 16; cache_hits = 0 }
 
-let prefixes t = List.sort_uniq Prefix.compare (List.map fst t.originated)
+let prefixes t = t.prefixes_memo
 
 let origins t p =
   Option.value ~default:Asn.Set.empty (Ptrie.find_exact p t.origin_trie)
@@ -87,7 +115,10 @@ let compute t p =
             | _ -> Asn.Tbl.replace peer y (d + 1))
         (B.As_rel.peers t.rels x))
     up;
-  (* Stage 3: provider routes via Dijkstra (bucket queue on dist). *)
+  (* Stage 3: provider routes via Dijkstra. Lazy deletion on a binary
+     heap: a relaxation pushes a fresh (dist, asn) entry and stale ones
+     are skipped on pop, so the final [prov] table is identical to the
+     old set-as-priority-queue version whatever the tie order. *)
   let best_non_prov x =
     match (Asn.Tbl.find_opt up x, Asn.Tbl.find_opt peer x) with
     | Some d, _ -> Some (Cust, d)
@@ -95,13 +126,10 @@ let compute t p =
     | None, None -> None
   in
   let prov : int Asn.Tbl.t = Asn.Tbl.create 256 in
-  let module Pq = Set.Make (struct
-    type t = int * Asn.t
-
-    let compare = compare
-  end) in
-  let pq = ref Pq.empty in
-  let push d x = pq := Pq.add (d, x) !pq in
+  let pq =
+    Heap.create (fun (d1, x1) (d2, x2) ->
+        match Int.compare d1 d2 with 0 -> Asn.compare x1 x2 | c -> c)
+  in
   (* Seed: every AS holding a cust/peer route exports it to customers. *)
   let seed x d =
     Asn.Set.iter
@@ -111,25 +139,28 @@ let compute t p =
           | Some d' when d' <= d + 1 -> ()
           | _ ->
             Asn.Tbl.replace prov c (d + 1);
-            push (d + 1) c)
+            Heap.push pq (d + 1, c))
       (B.As_rel.customers t.rels x)
   in
   Asn.Tbl.iter seed up;
   Asn.Tbl.iter (fun x d -> if Asn.Tbl.find_opt up x = None then seed x d) peer;
-  while not (Pq.is_empty !pq) do
-    let ((d, x) as e) = Pq.min_elt !pq in
-    pq := Pq.remove e !pq;
-    if Asn.Tbl.find_opt prov x = Some d then
-      Asn.Set.iter
-        (fun c ->
-          if best_non_prov c = None && not (Asn.Set.mem c os) then
-            match Asn.Tbl.find_opt prov c with
-            | Some d' when d' <= d + 1 -> ()
-            | _ ->
-              Asn.Tbl.replace prov c (d + 1);
-              push (d + 1) c)
-        (B.As_rel.customers t.rels x)
-  done;
+  let rec drain () =
+    match Heap.pop_opt pq with
+    | None -> ()
+    | Some (d, x) ->
+      if Asn.Tbl.find_opt prov x = Some d then
+        Asn.Set.iter
+          (fun c ->
+            if best_non_prov c = None && not (Asn.Set.mem c os) then
+              match Asn.Tbl.find_opt prov c with
+              | Some d' when d' <= d + 1 -> ()
+              | _ ->
+                Asn.Tbl.replace prov c (d + 1);
+                Heap.push pq (d + 1, c))
+          (B.As_rel.customers t.rels x);
+      drain ()
+  in
+  drain ();
   (* Assemble per-AS best routes with the full next-hop set. *)
   let table : route Asn.Tbl.t = Asn.Tbl.create 256 in
   let consider x =
@@ -198,23 +229,67 @@ let compute t p =
   Asn.Set.iter consider (B.As_rel.asns t.rels);
   table
 
+let store_young t p tbl =
+  if Hashtbl.length t.young >= cache_limit then begin
+    t.old_gen <- t.young;
+    t.young <- Hashtbl.create 256
+  end;
+  Hashtbl.add t.young p tbl
+
 let table_for t p =
-  match Hashtbl.find_opt t.cache p with
+  match Hashtbl.find_opt t.young p with
   | Some tbl ->
     t.cache_hits <- t.cache_hits + 1;
     tbl
-  | None ->
-    if Hashtbl.length t.cache >= cache_limit then Hashtbl.reset t.cache;
-    let tbl = compute t p in
-    Hashtbl.add t.cache p tbl;
-    tbl
+  | None -> (
+    match Hashtbl.find_opt t.old_gen p with
+    | Some tbl ->
+      t.cache_hits <- t.cache_hits + 1;
+      store_young t p tbl;
+      tbl
+    | None ->
+      let tbl = compute t p in
+      store_young t p tbl;
+      tbl)
 
-let route t asn p = Asn.Tbl.find_opt (table_for t p) asn
+(* Binary searches into the snapshot's interning arrays. A miss is a
+   correct [None]: a prefix outside [s_pfx] was never originated, so
+   the lazy [compute] would build an empty table for it, and [consider]
+   only ever adds rows for ASNs inside [s_asns]. *)
+let slot_of_array cmp a x =
+  let rec go lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      match cmp x a.(mid) with
+      | 0 -> mid
+      | c when c < 0 -> go lo mid
+      | _ -> go (mid + 1) hi
+  in
+  go 0 (Array.length a)
+
+let snap_route s asn p =
+  let pi = slot_of_array Prefix.compare s.s_pfx p in
+  if pi < 0 then None
+  else
+    let ai = slot_of_array Asn.compare s.s_asns asn in
+    if ai < 0 then None else s.s_tables.(pi).(ai)
+
+let route t asn p =
+  match t.frozen with
+  | Some s -> snap_route s asn p
+  | None -> Asn.Tbl.find_opt (table_for t p) asn
 
 let lookup t asn addr =
-  match Ptrie.lpm addr t.origin_trie with
-  | None -> None
-  | Some (p, _) -> Some (p, route t asn p)
+  match t.frozen with
+  | Some s -> (
+    match Lpm.lookup s.s_lpm addr with
+    | None -> None
+    | Some (p, _) -> Some (p, snap_route s asn p))
+  | None -> (
+    match Ptrie.lpm addr t.origin_trie with
+    | None -> None
+    | Some (p, _) -> Some (p, route t asn p))
 
 let as_path t asn p =
   if is_origin t asn p then Some [ asn ]
@@ -242,3 +317,79 @@ let collector_view t collectors =
           | None -> rib)
         rib collectors)
     B.Rib.empty (prefixes t)
+
+let freeze t =
+  match t.frozen with
+  | Some s -> s
+  | None ->
+    Obs.Metrics.incr "routing.snapshot.builds";
+    let s_pfx = Array.of_list t.prefixes_memo in
+    let asn_set = Asn.Set.union (Net.asns t.net) (B.As_rel.asns t.rels) in
+    let s_asns = Array.of_list (Asn.Set.elements asn_set) in
+    let n = Array.length s_asns in
+    let s_tables =
+      Array.map
+        (fun p ->
+          let tbl = compute t p in
+          Array.init n (fun i -> Asn.Tbl.find_opt tbl s_asns.(i)))
+        s_pfx
+    in
+    { s_net = t.net;
+      s_rels = t.rels;
+      s_origin_trie = t.origin_trie;
+      s_originated = t.originated;
+      s_selective = t.selective;
+      s_prefixes = t.prefixes_memo;
+      s_asns;
+      s_pfx;
+      s_tables;
+      s_lpm = Lpm.build (Ptrie.bindings t.origin_trie) }
+
+let of_snapshot s =
+  Obs.Metrics.incr "routing.snapshot.attaches";
+  { net = s.s_net;
+    rels = s.s_rels;
+    origin_trie = s.s_origin_trie;
+    originated = s.s_originated;
+    selective = s.s_selective;
+    prefixes_memo = s.s_prefixes;
+    frozen = Some s;
+    young = Hashtbl.create 16;
+    old_gen = Hashtbl.create 16;
+    cache_hits = 0 }
+
+module Snapshot = struct
+  type t = snapshot
+
+  let route = snap_route
+
+  let lookup s asn addr =
+    match Lpm.lookup s.s_lpm addr with
+    | None -> None
+    | Some (p, _) -> Some (p, snap_route s asn p)
+
+  let as_path s asn p =
+    let is_origin_ x =
+      match Ptrie.find_exact p s.s_origin_trie with
+      | None -> false
+      | Some os -> Asn.Set.mem x os
+    in
+    if is_origin_ asn then Some [ asn ]
+    else
+      let rec follow x acc guard =
+        if guard > 64 then None
+        else if is_origin_ x then Some (List.rev (x :: acc))
+        else
+          match snap_route s x p with
+          | None -> None
+          | Some r -> (
+            match r.parent with
+            | None -> Some (List.rev (x :: acc))
+            | Some y -> follow y (x :: acc) (guard + 1))
+      in
+      follow asn [] 0
+
+  let prefixes s = s.s_prefixes
+  let prefix_count s = Array.length s.s_pfx
+  let asn_count s = Array.length s.s_asns
+end

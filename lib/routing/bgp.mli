@@ -7,8 +7,13 @@
     Per-link selective announcement (the Akamai-style policy of §6) is
     honoured at the edge between the origin and its direct neighbors.
 
-    Computation is per-prefix and cached, since both the forwarding layer
-    and the collector-view builder access prefixes sequentially. *)
+    Two evaluation modes share one propagation core:
+    - the lazy [t] computes per-prefix tables on demand behind a
+      two-generation cache — right for tiny one-shot runs;
+    - a frozen {!snapshot} computes every originated prefix once and
+      flattens the results into immutable dense arrays, which makes it
+      pure data: safe to share by reference across [Netcore.Pool]
+      domains with zero per-worker rebuild. *)
 
 open Netcore
 module Net = Topogen.Net
@@ -34,7 +39,7 @@ val create :
   selective:int list Prefix.Map.t Asn.Map.t ->
   t
 
-(** [prefixes t] is every originated prefix, sorted. *)
+(** [prefixes t] is every originated prefix, sorted (memoized). *)
 val prefixes : t -> Prefix.t list
 
 (** [origins t p] is the origin set of [p]. *)
@@ -64,3 +69,33 @@ val allowed_links : t -> origin:Asn.t -> p:Prefix.t -> int list option
 (** [collector_view t collectors] builds the public RIB: one route line
     per (collector AS, prefix) with the collector's AS path. *)
 val collector_view : t -> Asn.t list -> Bgpdata.Rib.t
+
+(** {1 Frozen snapshots} *)
+
+(** Immutable routing snapshot: per-prefix route tables for all
+    originated prefixes in dense (prefix slot x interned-ASN slot)
+    arrays, plus a flattened LPM over the origin set. *)
+type snapshot
+
+(** [freeze t] computes every originated prefix's table once and
+    freezes the results. Answers are identical to the lazy path:
+    [Snapshot.route (freeze t) asn p = route t asn p] for all inputs.
+    Idempotent on an already-frozen [t]. Counted under the
+    [routing.snapshot.builds] metric. *)
+val freeze : t -> snapshot
+
+(** [of_snapshot s] is a [t] answering from the frozen tables (with
+    private, empty caches — never mutated on the frozen read path).
+    Counted under [routing.snapshot.attaches]. *)
+val of_snapshot : snapshot -> t
+
+module Snapshot : sig
+  type t = snapshot
+
+  val route : t -> Asn.t -> Prefix.t -> route option
+  val lookup : t -> Asn.t -> Ipv4.t -> (Prefix.t * route option) option
+  val as_path : t -> Asn.t -> Prefix.t -> Asn.t list option
+  val prefixes : t -> Prefix.t list
+  val prefix_count : t -> int
+  val asn_count : t -> int
+end

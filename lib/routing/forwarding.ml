@@ -1,9 +1,21 @@
 open Netcore
 module Net = Topogen.Net
 
+(* A frozen forwarding plan: IGP distance tables, egress choices and
+   the interdomain-link index precomputed once and never written again.
+   Read-only hashtables are safe to share by reference across pool
+   domains ([Hashtbl.find_opt] does not mutate); each worker keeps its
+   own private tables for the (cold) keys the plan does not cover. *)
+type plan = {
+  p_igp : (int, float array) Hashtbl.t;
+  p_egress : (int * Prefix.t, int) Hashtbl.t;
+  p_between : (Asn.t * Asn.t, Net.link list) Hashtbl.t;
+}
+
 type t = {
   net : Net.t;
   bgp : Bgp.t;
+  plan : plan option;
   (* Distances to a target router from every router of the same AS,
      computed by Dijkstra from the target over internal links. *)
   igp : (int, float array) Hashtbl.t;
@@ -13,59 +25,83 @@ type t = {
   mutable between : (Asn.t * Asn.t, Net.link list) Hashtbl.t option;
 }
 
-let create net bgp =
-  { net; bgp; igp = Hashtbl.create 512; egress_memo = Hashtbl.create 4096;
+let create ?plan net bgp =
+  { net; bgp; plan; igp = Hashtbl.create 512; egress_memo = Hashtbl.create 4096;
     between = None }
+
+let build_between net =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (l : Net.link) ->
+      let oa = (Net.router net (fst l.Net.a)).Net.owner in
+      let ob = (Net.router net (fst l.Net.b)).Net.owner in
+      let key = if oa < ob then (oa, ob) else (ob, oa) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (l :: cur))
+    (Net.interdomain_links net);
+  tbl
 
 let links_between t x y =
   let tbl =
-    match t.between with
-    | Some tbl -> tbl
-    | None ->
-      let tbl = Hashtbl.create 1024 in
-      List.iter
-        (fun (l : Net.link) ->
-          let oa = (Net.router t.net (fst l.Net.a)).Net.owner in
-          let ob = (Net.router t.net (fst l.Net.b)).Net.owner in
-          let key = if oa < ob then (oa, ob) else (ob, oa) in
-          let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-          Hashtbl.replace tbl key (l :: cur))
-        (Net.interdomain_links t.net);
-      t.between <- Some tbl;
-      tbl
+    match t.plan with
+    | Some plan -> plan.p_between
+    | None -> (
+      match t.between with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = build_between t.net in
+        t.between <- Some tbl;
+        tbl)
   in
   let key = if x < y then (x, y) else (y, x) in
   Option.value ~default:[] (Hashtbl.find_opt tbl key)
 
-(* Dijkstra from [target] over internal links of its AS. *)
-let dist_to t target =
-  match Hashtbl.find_opt t.igp target with
-  | Some d -> d
-  | None ->
-    let n = Net.router_count t.net in
-    let dist = Array.make n infinity in
-    let module Pq = Set.Make (struct
-      type t = float * int
-
-      let compare = compare
-    end) in
-    let pq = ref (Pq.singleton (0.0, target)) in
-    dist.(target) <- 0.0;
-    while not (Pq.is_empty !pq) do
-      let ((d, x) as e) = Pq.min_elt !pq in
-      pq := Pq.remove e !pq;
+(* Dijkstra from [target] over internal links of its AS, on a binary
+   heap with lazy deletion: relaxations push duplicates and stale pops
+   are skipped by the [d <= dist.(x)] guard, so the final distance
+   array is identical to the old set-as-priority-queue version. *)
+let compute_dist net target =
+  let n = Net.router_count net in
+  let dist = Array.make n infinity in
+  let pq =
+    Heap.create (fun (d1, x1) (d2, x2) ->
+        match Float.compare d1 d2 with 0 -> Int.compare x1 x2 | c -> c)
+  in
+  Heap.push pq (0.0, target);
+  dist.(target) <- 0.0;
+  let rec drain () =
+    match Heap.pop_opt pq with
+    | None -> ()
+    | Some (d, x) ->
       if d <= dist.(x) then
         List.iter
           (fun ((l : Net.link), y) ->
             let nd = d +. l.Net.weight in
             if nd < dist.(y) then begin
               dist.(y) <- nd;
-              pq := Pq.add (nd, y) !pq
+              Heap.push pq (nd, y)
             end)
-          (Net.internal_neighbors t.net x)
-    done;
-    Hashtbl.replace t.igp target dist;
-    dist
+          (Net.internal_neighbors net x);
+      drain ()
+  in
+  drain ();
+  dist
+
+let dist_to t target =
+  let planned =
+    match t.plan with
+    | Some plan -> Hashtbl.find_opt plan.p_igp target
+    | None -> None
+  in
+  match planned with
+  | Some d -> d
+  | None -> (
+    match Hashtbl.find_opt t.igp target with
+    | Some d -> d
+    | None ->
+      let dist = compute_dist t.net target in
+      Hashtbl.replace t.igp target dist;
+      dist)
 
 let igp_distance t ~from_rid ~to_rid =
   let ra = Net.router t.net from_rid and rb = Net.router t.net to_rid in
@@ -133,36 +169,87 @@ let egress_candidates t asn p (route : Bgp.route) =
       List.rev_append ls acc)
     route.Bgp.nexthops []
 
+(* The single scoring path behind both the lazy memo and [freeze]:
+   hot-potato (IGP-nearest near-side router), ties broken on lowest
+   link id, encoded as the chosen lid or -1 for none. *)
+let egress_lid t rid p route =
+  let asn = (Net.router t.net rid).Net.owner in
+  let candidates = egress_candidates t asn p route in
+  let score (l : Net.link) =
+    let near =
+      let ra = fst l.Net.a in
+      if Asn.equal (Net.router t.net ra).Net.owner asn then ra else fst l.Net.b
+    in
+    (igp_distance t ~from_rid:rid ~to_rid:near, l.Net.lid)
+  in
+  let best =
+    List.fold_left
+      (fun acc l ->
+        let s = score l in
+        if fst s = infinity then acc
+        else
+          match acc with
+          | Some (s', _) when s' <= s -> acc
+          | _ -> Some (s, l))
+      None candidates
+  in
+  match best with
+  | Some (_, l) -> l.Net.lid
+  | None -> -1
+
 let choose_egress t rid p (route : Bgp.route) =
-  match Hashtbl.find_opt t.egress_memo (rid, p) with
-  | Some (-1) -> None
-  | Some lid -> Some (Net.link t.net lid)
-  | None ->
-    let asn = (Net.router t.net rid).Net.owner in
-    let candidates = egress_candidates t asn p route in
-    let score (l : Net.link) =
-      let near =
-        let ra = fst l.Net.a in
-        if Asn.equal (Net.router t.net ra).Net.owner asn then ra else fst l.Net.b
-      in
-      (igp_distance t ~from_rid:rid ~to_rid:near, l.Net.lid)
-    in
-    let best =
-      List.fold_left
-        (fun acc l ->
-          let s = score l in
-          if fst s = infinity then acc
-          else
-            match acc with
-            | Some (s', _) when s' <= s -> acc
-            | _ -> Some (s, l))
-        None candidates
-    in
-    Hashtbl.replace t.egress_memo (rid, p)
-      (match best with
-      | Some (_, l) -> l.Net.lid
-      | None -> -1);
-    Option.map snd best
+  let lid =
+    match
+      match t.plan with
+      | Some plan -> Hashtbl.find_opt plan.p_egress (rid, p)
+      | None -> None
+    with
+    | Some lid -> lid
+    | None -> (
+      match Hashtbl.find_opt t.egress_memo (rid, p) with
+      | Some lid -> lid
+      | None ->
+        let lid = egress_lid t rid p route in
+        Hashtbl.replace t.egress_memo (rid, p) lid;
+        lid)
+  in
+  if lid < 0 then None else Some (Net.link t.net lid)
+
+let freeze ?(egress_for = Asn.Set.empty) t =
+  Obs.Metrics.incr "routing.plan.builds";
+  let p_between = build_between t.net in
+  (* IGP tables for every interdomain-link endpoint: these routers are
+     the targets of all egress scoring and of the internal walks toward
+     an egress, and they are identical for every VP. Home-router targets
+     stay lazy in each worker's private table. *)
+  let p_igp = Hashtbl.create 512 in
+  List.iter
+    (fun (l : Net.link) ->
+      List.iter
+        (fun rid ->
+          if not (Hashtbl.mem p_igp rid) then
+            Hashtbl.replace p_igp rid (compute_dist t.net rid))
+        [ fst l.Net.a; fst l.Net.b ])
+    (Net.interdomain_links t.net);
+  (* Egress choices for the hot ASes (the VP-owning ones): every probe
+     starts there, so these (rid, prefix) pairs recur in every worker. *)
+  let p_egress = Hashtbl.create 4096 in
+  let scored = { t with plan = Some { p_igp; p_egress; p_between } } in
+  Asn.Set.iter
+    (fun asn ->
+      List.iter
+        (fun (r : Net.router) ->
+          List.iter
+            (fun p ->
+              match Bgp.route t.bgp asn p with
+              | None -> ()
+              | Some route ->
+                Hashtbl.replace p_egress (r.Net.rid, p)
+                  (egress_lid scored r.Net.rid p route))
+            (Bgp.prefixes t.bgp))
+        (Net.routers_of t.net asn))
+    egress_for;
+  { p_igp; p_egress; p_between }
 
 type hop = Deliver | Sink | Forward of Net.link | Unreachable
 

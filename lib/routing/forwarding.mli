@@ -13,7 +13,28 @@ module Net = Topogen.Net
 
 type t
 
-val create : Net.t -> Bgp.t -> t
+(** A frozen forwarding plan: IGP distance tables for every
+    interdomain-link endpoint, egress choices for the hot (VP-owning)
+    ASes, and the interdomain-link index — precomputed once and never
+    written again, so a plan is safe to share by reference across
+    [Netcore.Pool] domains. Keys outside the plan fall back to each
+    worker's private lazy tables. *)
+type plan
+
+(** [create ?plan net bgp] builds forwarding state over [bgp]. With
+    [plan], hot lookups answer from the shared frozen tables; without
+    it, everything is computed lazily per instance (the pre-snapshot
+    behaviour). A plan must only be paired with a [bgp] answering
+    identically to the one it was frozen from. *)
+val create : ?plan:plan -> Net.t -> Bgp.t -> t
+
+(** [freeze ?egress_for t] precomputes the shared read-only plan:
+    the interdomain-link index, IGP distances to every interdomain-link
+    endpoint, and — for each AS in [egress_for] — the egress choice of
+    each of its routers for every originated prefix, via exactly the
+    same scoring path the lazy memo uses. Counted under the
+    [routing.plan.builds] metric. *)
+val freeze : ?egress_for:Asn.Set.t -> t -> plan
 
 type hop =
   | Deliver  (** the destination address is on this router *)

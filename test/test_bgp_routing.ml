@@ -157,6 +157,71 @@ let test_moas_origins () =
         (Asn.Set.mem extra_origin (Bgp.origins bgp p)))
     w.moas
 
+(* Route records hold Asn.Set.t values; compare through a projection so
+   the checks do not depend on balanced-tree internals. *)
+let proj = function
+  | None -> None
+  | Some (r : Bgp.route) ->
+    Some (r.cls, r.dist, Asn.Set.elements r.nexthops, r.parent)
+
+let test_snapshot_route_equivalence () =
+  let w = Lazy.force world in
+  let snap = Bgp.freeze (bgp_of w) in
+  let lazy_bgp = bgp_of w in
+  let attached = Bgp.of_snapshot snap in
+  let asns = Asn.Set.elements (Net.asns w.net) in
+  Alcotest.(check int) "prefix_count" (List.length (Bgp.prefixes lazy_bgp))
+    (Bgp.Snapshot.prefix_count snap);
+  Alcotest.(check bool) "asn_count covers the net" true
+    (Bgp.Snapshot.asn_count snap >= List.length asns);
+  Alcotest.(check bool) "prefixes agree" true
+    (Bgp.Snapshot.prefixes snap = Bgp.prefixes lazy_bgp);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun asn ->
+          let reference = proj (Bgp.route lazy_bgp asn p) in
+          Alcotest.(check bool)
+            (Printf.sprintf "Snapshot.route AS%d %s" asn (Prefix.to_string p))
+            true
+            (proj (Bgp.Snapshot.route snap asn p) = reference);
+          Alcotest.(check bool)
+            (Printf.sprintf "of_snapshot route AS%d %s" asn (Prefix.to_string p))
+            true
+            (proj (Bgp.route attached asn p) = reference))
+        asns)
+    (Bgp.prefixes lazy_bgp)
+
+let test_snapshot_lookup_and_paths () =
+  let w = Lazy.force world in
+  let snap = Bgp.freeze (bgp_of w) in
+  let lazy_bgp = bgp_of w in
+  let probes =
+    Ipv4.of_string_exn "203.0.113.9"
+    :: List.concat_map
+         (fun p -> [ Prefix.first p; Ipv4.add (Prefix.first p) 1; Prefix.last p ])
+         (Bgp.prefixes lazy_bgp)
+  in
+  let lproj = Option.map (fun (p, r) -> (p, proj r)) in
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool)
+        (Printf.sprintf "Snapshot.lookup %s" (Ipv4.to_string addr))
+        true
+        (lproj (Bgp.Snapshot.lookup snap w.host_asn addr)
+        = lproj (Bgp.lookup lazy_bgp w.host_asn addr)))
+    probes;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun asn ->
+          Alcotest.(check bool)
+            (Printf.sprintf "Snapshot.as_path AS%d %s" asn (Prefix.to_string p))
+            true
+            (Bgp.Snapshot.as_path snap asn p = Bgp.as_path lazy_bgp asn p))
+        (w.host_asn :: w.collectors))
+    (Bgp.prefixes lazy_bgp)
+
 let suite =
   [ Alcotest.test_case "all prefixes reachable from host" `Quick
       test_all_prefixes_reachable_from_host;
@@ -166,4 +231,8 @@ let suite =
     Alcotest.test_case "collector view parses" `Quick test_collector_view_parses;
     Alcotest.test_case "hidden peers invisible in public view" `Quick
       test_hidden_peers_invisible;
-    Alcotest.test_case "moas origins" `Quick test_moas_origins ]
+    Alcotest.test_case "moas origins" `Quick test_moas_origins;
+    Alcotest.test_case "snapshot route equivalence" `Quick
+      test_snapshot_route_equivalence;
+    Alcotest.test_case "snapshot lookup and paths" `Quick
+      test_snapshot_lookup_and_paths ]

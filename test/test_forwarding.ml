@@ -198,6 +198,43 @@ let test_selective_prefix_pinned () =
       ignore bgp)
     pinned
 
+let test_frozen_plan_equivalence () =
+  let w, bgp, fwd = Lazy.force setup in
+  (* Freeze the shared plan exactly as the pipeline does, then check
+     that a plan-backed instance forwards identically to the lazy one. *)
+  let snap = Routing.Bgp.freeze bgp in
+  let plan =
+    Fwd.freeze ~egress_for:w.Gen.siblings
+      (Fwd.create w.Gen.net (Routing.Bgp.of_snapshot snap))
+  in
+  let fwd' = Fwd.create ~plan w.Gen.net (Routing.Bgp.of_snapshot snap) in
+  let rids ss = List.map (fun (s : Fwd.step) -> s.Fwd.rid) ss in
+  List.iter
+    (fun (vp : Gen.vp) ->
+      List.iter
+        (fun dst ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s path to %s" vp.vp_name (Ipv4.to_string dst))
+            (rids (Fwd.path fwd ~src_rid:vp.vp_rid ~dst ()))
+            (rids (Fwd.path fwd' ~src_rid:vp.vp_rid ~dst ()));
+          let lid = function None -> -1 | Some (l : Net.link) -> l.Net.lid in
+          Alcotest.(check int)
+            (Printf.sprintf "%s egress to %s" vp.vp_name (Ipv4.to_string dst))
+            (lid (Fwd.egress_link fwd ~rid:vp.vp_rid ~dst))
+            (lid (Fwd.egress_link fwd' ~rid:vp.vp_rid ~dst)))
+        (List.filteri (fun i _ -> i < 25) (first_addrs w)))
+    w.vps;
+  (* IGP distances served from the plan match freshly computed ones. *)
+  let l = List.hd (Net.interdomain_links w.net) in
+  let near = fst l.Net.a in
+  List.iter
+    (fun (vp : Gen.vp) ->
+      let d = Fwd.igp_distance fwd ~from_rid:vp.vp_rid ~to_rid:near in
+      let d' = Fwd.igp_distance fwd' ~from_rid:vp.vp_rid ~to_rid:near in
+      Alcotest.(check bool) "planned igp distance" true
+        (d = d' || abs_float (d -. d') < 1e-9))
+    w.vps
+
 let suite =
   [ Alcotest.test_case "paths are connected" `Quick test_paths_connected;
     Alcotest.test_case "paths reach origin AS" `Quick test_paths_reach_origin_as;
@@ -206,4 +243,5 @@ let suite =
     Alcotest.test_case "hot potato nearest egress" `Quick test_hot_potato_prefers_near_egress;
     Alcotest.test_case "igp distance" `Quick test_igp_distance_properties;
     Alcotest.test_case "reply iface on router" `Quick test_reply_iface_on_router;
-    Alcotest.test_case "selective prefixes pinned" `Quick test_selective_prefix_pinned ]
+    Alcotest.test_case "selective prefixes pinned" `Quick test_selective_prefix_pinned;
+    Alcotest.test_case "frozen plan equivalence" `Quick test_frozen_plan_equivalence ]

@@ -96,6 +96,36 @@ let test_router_accuracy_metric () =
   Alcotest.(check bool) "router accuracy sane" true
     (s.pct_correct >= 50.0 && s.pct_correct <= 100.0)
 
+let test_shared_snapshot_sweep () =
+  let w = Gen.generate Topogen.Scenario.tiny in
+  let _bgp, _fwd, _engine, inputs = Bdrmap.Pipeline.setup w in
+  let vps = List.filteri (fun i _ -> i < 2) w.vps in
+  let was_enabled = Obs.Metrics.enabled () in
+  Obs.Metrics.enable ();
+  let count name = Obs.Metrics.find_counter (Obs.Metrics.collect ()) name in
+  let builds0 = count "routing.snapshot.builds" in
+  let shared = Bdrmap.Pipeline.freeze_routing w in
+  let builds1 = count "routing.snapshot.builds" in
+  Alcotest.(check int) "freeze_routing builds exactly once" (builds0 + 1) builds1;
+  let attaches0 = count "routing.snapshot.attaches" in
+  let runs_shared = Bdrmap.Pipeline.execute_all ~shared w inputs ~vps in
+  Alcotest.(check int) "supplied shared is not rebuilt" builds1
+    (count "routing.snapshot.builds");
+  Alcotest.(check bool) "every VP attaches to the snapshot" true
+    (count "routing.snapshot.attaches" - attaches0 >= List.length vps);
+  if not was_enabled then Obs.Metrics.disable ();
+  (* The sweep result must not depend on whether routing was served from
+     the frozen snapshot or recomputed lazily per VP. *)
+  let runs_lazy = Bdrmap.Pipeline.execute_all w inputs ~vps in
+  let sig_of (run : Bdrmap.Pipeline.run) =
+    List.map
+      (fun (l : Bdrmap.Heuristics.border_link) ->
+        (l.near_node, l.far_node, l.neighbor, Bdrmap.Heuristics.tag_label l.tag))
+      run.inference.links
+  in
+  Alcotest.(check bool) "shared sweep = lazy sweep" true
+    (List.map sig_of runs_shared = List.map sig_of runs_lazy)
+
 let suite =
   [ Alcotest.test_case "tiny accuracy" `Quick test_accuracy_tiny;
     Alcotest.test_case "r&e accuracy" `Quick test_accuracy_r_and_e;
@@ -105,4 +135,5 @@ let suite =
     Alcotest.test_case "neighbors outside org" `Quick test_neighbors_not_vp_asns;
     Alcotest.test_case "links deduplicated" `Quick test_far_nodes_unique_per_link;
     Alcotest.test_case "artifact roundtrip" `Quick test_artifacts_roundtrip;
-    Alcotest.test_case "router accuracy metric" `Quick test_router_accuracy_metric ]
+    Alcotest.test_case "router accuracy metric" `Quick test_router_accuracy_metric;
+    Alcotest.test_case "shared snapshot sweep" `Quick test_shared_snapshot_sweep ]
