@@ -2,9 +2,12 @@
    runtest alias: the snapshot must have been built at most once per
    multi-VP sweep (a per-worker rebuild would show builds exceeding the
    sweep count), every computed VP must have attached to a shared
-   snapshot, and the schema-5 GC fields must be present. Plain string
-   scanning — the emitter writes one object per line, and pulling in a
-   JSON parser for five assertions is not worth a dependency. *)
+   snapshot, the schema-6 GC fields must be present, and the packed
+   scale-3 snapshot rows must show a warm query sweep that stays inside
+   a near-zero GC major-words budget — the regression gate for the
+   route arenas staying GC-invisible. Plain string scanning — the
+   emitter writes one object per line, and pulling in a JSON parser for
+   a handful of assertions is not worth a dependency. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -19,45 +22,92 @@ let contains ~sub s =
   let rec go i = if i + m > n then false else String.sub s i m = sub || go (i + 1) in
   m = 0 || go 0
 
+let find_marker json marker =
+  let n = String.length json and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub json i m = marker then Some (i + m)
+    else find (i + 1)
+  in
+  find 0
+
+let int_at json i =
+  let n = String.length json in
+  let j = ref i in
+  while !j < n && json.[!j] >= '0' && json.[!j] <= '9' do incr j done;
+  int_of_string (String.sub json i (!j - i))
+
 (* The metrics block emits counters as
    {"name": "<name>", "total": <n>}; absent counter = 0. *)
 let counter json name =
-  let marker = Printf.sprintf "{\"name\": \"%s\", \"total\": " name in
-  let n = String.length json and m = String.length marker in
-  let rec find i = if i + m > n then None else if String.sub json i m = marker then Some (i + m) else find (i + 1) in
-  match find 0 with
+  match find_marker json (Printf.sprintf "{\"name\": \"%s\", \"total\": " name) with
   | None -> 0
-  | Some i ->
-    let j = ref i in
-    while !j < n && json.[!j] >= '0' && json.[!j] <= '9' do incr j done;
-    int_of_string (String.sub json i (!j - i))
+  | Some i -> int_at json i
+
+(* Experiments rows are one object per line; numeric GC fields are
+   emitted as %.0f, so an integer prefix scan reads them exactly. *)
+let row_field json ~row ~field =
+  match find_marker json (Printf.sprintf "{\"name\": \"%s\", " row) with
+  | None -> None
+  | Some i -> (
+    let line_end =
+      match String.index_from_opt json i '\n' with
+      | Some e -> e
+      | None -> String.length json
+    in
+    let line = String.sub json i (line_end - i) in
+    match find_marker line (Printf.sprintf "\"%s\": " field) with
+    | None -> None
+    | Some j -> Some (int_at line j))
+
+(* Budget for GC major-heap allocation during the warm packed-snapshot
+   query sweep: the sweep reads only Bigarray words through the
+   zero-allocation slot layer, so anything beyond incidental noise
+   (boxed floats from the Gc stat calls themselves) means the packed
+   representation regressed to heap-visible storage. *)
+let warm_sweep_major_budget = 50_000
 
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
   let json = read_file path in
-  if not (contains ~sub:"\"schema\": \"bdrmap-bench/5\"" json) then
-    fail "schema is not bdrmap-bench/5";
+  if not (contains ~sub:"\"schema\": \"bdrmap-bench/6\"" json) then
+    fail "schema is not bdrmap-bench/6";
   List.iter
     (fun field ->
       if not (contains ~sub:(Printf.sprintf "\"%s\":" field) json) then
         fail "experiments rows are missing the GC counter field %S" field)
-    [ "gc_minor_words"; "gc_major_words"; "gc_compactions" ];
+    [ "gc_minor_words"; "gc_major_words"; "gc_heap_words"; "gc_compactions" ];
   if not (contains ~sub:"\"stage\": \"freeze\"" json) then
     fail "no \"freeze\" stage row: snapshot freeze was never traced";
+  (match row_field json ~row:"snapshot3-freeze" ~field:"gc_heap_words" with
+  | None -> fail "no \"snapshot3-freeze\" row: the scale-3 packed freeze never ran"
+  | Some _ -> ());
+  (match row_field json ~row:"snapshot3-query-sweep-warm" ~field:"gc_major_words" with
+  | None ->
+    fail "no \"snapshot3-query-sweep-warm\" row: the packed query sweep never ran"
+  | Some major ->
+    if major > warm_sweep_major_budget then
+      fail
+        "warm packed query sweep allocated %d GC major words (budget %d): the \
+         route arena is no longer GC-invisible"
+        major warm_sweep_major_budget);
   let builds = counter json "routing.snapshot.builds" in
   let attaches = counter json "routing.snapshot.attaches" in
   let sweeps = counter json "pipeline.sweeps" in
   let crossing = counter json "pipeline.crossing_sweeps" in
   let vp_computes = counter json "pipeline.vp_computes" in
   if builds < 1 then fail "snapshot was never built (routing.snapshot.builds = 0)";
-  if builds > sweeps + crossing then
+  (* The two standalone freezes (snapshot-freeze, snapshot3-freeze) are
+     deliberate builds outside any sweep. *)
+  if builds > sweeps + crossing + 2 then
     fail
       "snapshot rebuilt per worker: %d builds for %d execute_all sweeps + %d pooled \
-       crossing sweeps"
+       crossing sweeps (+2 standalone freezes)"
       builds sweeps crossing;
   if vp_computes > 0 && attaches < vp_computes then
     fail "%d computed VPs but only %d snapshot attaches — a worker bypassed the shared snapshot"
       vp_computes attaches;
   Printf.printf
-    "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes)\n" builds
-    (sweeps + crossing) attaches vp_computes
+    "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes, warm \
+     sweep within %d major-word budget)\n"
+    builds (sweeps + crossing) attaches vp_computes warm_sweep_major_budget

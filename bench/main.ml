@@ -41,6 +41,7 @@ type row = {
   r_wall_s : float;
   r_minor_words : float;
   r_major_words : float;
+  r_heap_words : float;  (* resident major-heap words when the region ends *)
   r_compactions : int;
 }
 
@@ -57,6 +58,7 @@ let timed name f =
       r_wall_s = dt;
       r_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       r_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      r_heap_words = float_of_int g1.Gc.heap_words;
       r_compactions = g1.Gc.compactions - g0.Gc.compactions }
     :: !wall_times;
   Printf.printf "[%s: %.2fs]\n%!" name dt;
@@ -183,6 +185,43 @@ let snapshot_comparison () =
       (cold.r_wall_s /. float_of_int n_vps)
       (warm.r_wall_s /. float_of_int n_vps)
   | _ -> ()
+
+(* Packed snapshot at a fixed scale-3 world (10x-class), independent of
+   BDRMAP_BENCH_SCALE so the rows are comparable across runs: freeze
+   wall-clock + resident words, then a cold and a warm full
+   (prefix x ASN) query sweep over the packed words. The warm sweep
+   reads only Bigarray words through the zero-allocation slot layer, so
+   check_bench holds its GC major-words delta to a near-zero budget —
+   the regression gate for the arena staying GC-invisible. *)
+let scale3_snapshot () =
+  banner "Packed routing snapshot at scale 3";
+  let w =
+    timed "snapshot3-world" (fun () ->
+        Topogen.Gen.generate (Topogen.Scenario.small_access ~scale:3.0 ()))
+  in
+  let shared =
+    timed "snapshot3-freeze" (fun () -> Bdrmap.Pipeline.freeze_routing w)
+  in
+  let snap = shared.Bdrmap.Pipeline.snapshot in
+  let module S = Routing.Bgp.Snapshot in
+  let np = S.prefix_count snap and na = S.asn_count snap in
+  Printf.printf "snapshot: %d prefixes x %d ASNs, arena %d words\n%!" np na
+    (S.arena_length snap);
+  let sweep () =
+    let total = ref 0 in
+    for pslot = 0 to np - 1 do
+      for aslot = 0 to na - 1 do
+        let word = S.word snap ~pslot ~aslot in
+        if word <> 0 then total := !total + S.word_dist word
+      done
+    done;
+    !total
+  in
+  let cold = timed "snapshot3-query-sweep" sweep in
+  let warm = timed "snapshot3-query-sweep-warm" sweep in
+  if cold <> warm then
+    Printf.printf "WARNING: sweep checksum drifted (%d vs %d)\n%!" cold warm;
+  Printf.printf "query sweep checksum %d over %d words\n%!" warm (np * na)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the pipeline stages.                            *)
@@ -338,9 +377,10 @@ let write_bench_json path =
     let row r =
       Printf.sprintf
         "    {\"name\": \"%s\", \"wall_s\": %.6f, \"gc_minor_words\": %.0f, \
-         \"gc_major_words\": %.0f, \"gc_compactions\": %d}"
+         \"gc_major_words\": %.0f, \"gc_heap_words\": %.0f, \
+         \"gc_compactions\": %d}"
         (json_escape r.r_name) r.r_wall_s r.r_minor_words r.r_major_words
-        r.r_compactions
+        r.r_heap_words r.r_compactions
     in
     Printf.sprintf "  \"experiments\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row (List.rev !wall_times)))
@@ -384,7 +424,7 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/5\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    "{\n  \"schema\": \"bdrmap-bench/6\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
     scale jobs experiments_block robustness_block stages_block metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
@@ -405,6 +445,7 @@ let () =
     robustness ();
     store_comparison None;
     snapshot_comparison ();
+    scale3_snapshot ();
     snapshot_obs ();
     micro ();
     finish ()
@@ -417,6 +458,7 @@ let () =
         parallel_comparison pool;
         store_comparison pool;
         snapshot_comparison ();
+        scale3_snapshot ();
         snapshot_obs ();
         micro ();
         finish ())

@@ -101,13 +101,29 @@ type shared = {
   plan : Routing.Forwarding.plan;
 }
 
-let freeze_routing (w : Gen.world) =
+let freeze_routing ?store (w : Gen.world) =
   Obs.Span.with_span ~stage:"freeze" ~vp:"shared" (fun () ->
-      let bgp =
-        Routing.Bgp.create w.Gen.net w.Gen.rels_truth
-          ~originated:(Gen.originated w) ~selective:w.Gen.selective
+      (* With a store, the packed snapshot round-trips through its raw
+         byte codec: warm sweeps skip the propagation compute entirely.
+         The forwarding plan is cheap relative to the snapshot and
+         rebuilds from it deterministically. *)
+      let snapshot =
+        let cached =
+          match store with
+          | None -> None
+          | Some st -> Run_store.load_bgp_snapshot st ~world:w
+        in
+        match cached with
+        | Some s -> s
+        | None ->
+          let bgp =
+            Routing.Bgp.create w.Gen.net w.Gen.rels_truth
+              ~originated:(Gen.originated w) ~selective:w.Gen.selective
+          in
+          let s = Routing.Bgp.freeze bgp in
+          Option.iter (fun st -> Run_store.save_bgp_snapshot st ~world:w s) store;
+          s
       in
-      let snapshot = Routing.Bgp.freeze bgp in
       let fwd =
         Routing.Forwarding.create w.Gen.net (Routing.Bgp.of_snapshot snapshot)
       in
@@ -133,7 +149,7 @@ let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs 
   let shared =
     match shared with
     | Some s -> lazy s
-    | None -> lazy (freeze_routing w)
+    | None -> lazy (freeze_routing ?store w)
   in
   let compute vp =
     Obs.Metrics.incr "pipeline.vp_computes";

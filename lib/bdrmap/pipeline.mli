@@ -49,12 +49,14 @@ type shared = {
   plan : Routing.Forwarding.plan;
 }
 
-(** [freeze_routing w] builds the shared routing state for [w]: the
-    frozen per-prefix BGP tables and the forwarding plan (egress
-    precomputed for the VP-owning ASes). Traced as the ["freeze"]
-    stage; the snapshot build is counted under
-    [routing.snapshot.builds]. *)
-val freeze_routing : Gen.world -> shared
+(** [freeze_routing ?store w] builds the shared routing state for [w]:
+    the frozen per-prefix BGP tables and the forwarding plan (egress
+    precomputed for the VP-owning ASes). With [store], the packed
+    snapshot round-trips through {!Run_store.load_bgp_snapshot} /
+    {!Run_store.save_bgp_snapshot}, so warm sweeps skip the propagation
+    compute. Traced as the ["freeze"] stage; the snapshot build is
+    counted under [routing.snapshot.builds]. *)
+val freeze_routing : ?store:Store.t -> Gen.world -> shared
 
 (** [execute_all ?pool w inputs ~vps] runs the full pipeline from every
     vantage point in [vps], on [pool]'s worker domains when one is

@@ -66,6 +66,57 @@ let save st ~world ~pps ~cfg ~vp (s : snapshot) =
   Obs.Span.with_span ~stage:"store" ~vp:vp.Gen.vp_name (fun () ->
       put st ~key s)
 
+(* Frozen BGP snapshots persist as their own raw-byte codec
+   ([Bgp.Snapshot.to_bytes]) rather than [Marshal]: the packed arenas
+   dominate the size and round-trip as plain words, and the snapshot's
+   own header/digest then guards the payload a second time inside the
+   store entry. The codec version participates in the key, so a layout
+   change misses on key instead of decoding wrongly. *)
+let bgp_snapshot_key ~(world : Gen.world) =
+  digest_key
+    ( "bdrmap-bgp-snapshot",
+      Routing.Bgp.Snapshot.codec_version,
+      world.Gen.params )
+
+let load_bgp_snapshot st ~world =
+  let key = bgp_snapshot_key ~world in
+  Obs.Span.with_span ~stage:"store" ~vp:"shared" (fun () ->
+      match Store.read st ~key with
+      | Ok payload -> (
+        match Routing.Bgp.Snapshot.of_bytes (Bytes.of_string payload) with
+        | Ok s ->
+          (* Counted apart from the per-VP checkpoint traffic
+             ([store.hits]/[store.misses]): one snapshot serves a whole
+             sweep, so folding it into the per-VP counters would break
+             their one-entry-per-VP accounting. *)
+          Obs.Metrics.incr "store.snapshot.hits";
+          Obs.Metrics.add "store.bytes_read" (String.length payload);
+          Some s
+        | Error e ->
+          Obs.Log.warn "store: %s bgp-snapshot entry %s; recomputing"
+            (Routing.Bgp.Snapshot.error_label e)
+            key;
+          Obs.Metrics.incr "store.snapshot.misses";
+          None)
+      | Error Store.Absent ->
+        Obs.Metrics.incr "store.snapshot.misses";
+        None
+      | Error m ->
+        Obs.Log.warn "store: %s bgp-snapshot entry %s; recomputing"
+          (Store.miss_label m) key;
+        Obs.Metrics.incr "store.snapshot.misses";
+        None)
+
+let save_bgp_snapshot st ~world s =
+  let key = bgp_snapshot_key ~world in
+  Obs.Span.with_span ~stage:"store" ~vp:"shared" (fun () ->
+      let payload =
+        Bytes.unsafe_to_string (Routing.Bgp.Snapshot.to_bytes s)
+      in
+      let bytes = Store.write st ~key payload in
+      Obs.Metrics.incr "store.snapshot.writes";
+      Obs.Metrics.add "store.bytes_written" bytes)
+
 let memo st ~key ?vp ~what f =
   match Obs.Span.with_span ~stage:"store" ?vp (fun () -> fetch st ~key ~what)
   with

@@ -62,6 +62,22 @@ val save :
   snapshot ->
   unit
 
+(** [load_bgp_snapshot st ~world] returns the persisted frozen routing
+    snapshot for [world], or [None]. Snapshots are stored under a key
+    covering the world parameters and the snapshot codec version, and
+    round-trip through {!Routing.Bgp.Snapshot.to_bytes} rather than
+    [Marshal] — the packed arenas are raw words, so future worker
+    {e processes} can load them without sharing the OCaml heap.
+    Counted under [store.snapshot.hits] / [store.snapshot.misses] /
+    [store.snapshot.writes] (apart from the per-VP checkpoint
+    counters, which stay one-entry-per-VP). *)
+val load_bgp_snapshot :
+  Store.t -> world:Topogen.Gen.world -> Routing.Bgp.snapshot option
+
+(** [save_bgp_snapshot st ~world s] persists [s] atomically. *)
+val save_bgp_snapshot :
+  Store.t -> world:Topogen.Gen.world -> Routing.Bgp.snapshot -> unit
+
 (** [memo st ~key ?vp ~what f] returns the value cached under [key],
     or computes [f ()], checkpoints it, and returns it. [what] names
     the artifact in log lines; [key] must come from {!digest_key}. The

@@ -97,7 +97,7 @@ let crossing_links_by_vp ?pool ?store env prefixes =
        init shrinks to attaching the shared state behind thin private
        caches. Path computation is a pure function of the world, so the
        result does not depend on which domain served which VP. *)
-    let shared = Bdrmap.Pipeline.freeze_routing w in
+    let shared = Bdrmap.Pipeline.freeze_routing ?store w in
     Netcore.Pool.map_init pool
       ~init:(fun () ->
         let bgp = Routing.Bgp.of_snapshot shared.Bdrmap.Pipeline.snapshot in

@@ -20,6 +20,20 @@ val build : (Prefix.t * 'a) list -> 'a t
     the same bindings. *)
 val lookup : 'a t -> Ipv4.t -> (Prefix.t * 'a) option
 
+(** [lookup_idx t addr] is the binding index of the longest prefix
+    containing [addr], or [-1] on a miss. The zero-allocation form of
+    {!lookup}: the scan touches only flat int arrays, so hot paths can
+    loop over it without generating any garbage, resolving hits with
+    {!prefix_at}/{!value_at} only when needed. *)
+val lookup_idx : 'a t -> Ipv4.t -> int
+
+(** [prefix_at t i] / [value_at t i] resolve a binding index returned
+    by {!lookup_idx}. Indices are stable for the lifetime of [t] (they
+    index the sorted deduplicated binding array). *)
+val prefix_at : 'a t -> int -> Prefix.t
+
+val value_at : 'a t -> int -> 'a
+
 (** [find_exact t p] is the value bound to exactly [p], if any. *)
 val find_exact : 'a t -> Prefix.t -> 'a option
 

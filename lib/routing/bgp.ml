@@ -12,10 +12,28 @@ type route = {
 }
 
 (* A frozen snapshot is pure immutable data: every originated prefix's
-   route table computed once and flattened into dense arrays (prefix
-   index x interned-ASN slot), plus a flattened LPM over the origin
-   set. Nothing in it is ever written after [freeze], so a snapshot is
-   safe to share by reference across pool domains. *)
+   route table computed once and packed into flat GC-invisible arenas.
+   A route is a single int word in [s_words] (see the layout below);
+   its next-hop set is a contiguous ascending segment of [s_arena].
+   Both live in int Bigarrays — out-of-heap plain words the GC never
+   traces — so a snapshot's bulk costs no major-collection work, is
+   safe to share by reference across pool domains, and serializes to
+   raw bytes ([Snapshot.to_bytes]) for other *processes*.
+
+   Route word layout (0 = no route; dist >= 1 for every stored route,
+   so a valid word is never 0):
+
+     bits  0-1   route class (0 Cust, 1 Peer, 2 Prov)
+     bits  2-11  dist (AS-path hops to the origin, 10 bits)
+     bits 12-31  next-hop count (20 bits)
+     bits 32-61  arena offset of the next-hop segment (30 bits)
+
+   Next-hop segments are interned: identical sets share one arena
+   segment (the same few sets recur across thousands of prefixes).
+   Segments store ASN *slots* in ascending order, so the first entry is
+   the minimum — exactly the boxed representation's [parent]. *)
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type snapshot = {
   s_net : Net.t;
   s_rels : B.As_rel.t;
@@ -25,9 +43,25 @@ type snapshot = {
   s_prefixes : Prefix.t list;  (* sorted, deduplicated *)
   s_asns : Asn.t array;  (* sorted interning table: ASN -> slot by binary search *)
   s_pfx : Prefix.t array;  (* = s_prefixes, for binary search *)
-  s_tables : route option array array;  (* s_tables.(prefix slot).(asn slot) *)
-  s_lpm : Asn.Set.t Lpm.t;  (* flattened origin_trie *)
+  s_words : int_ba;  (* packed route word at (prefix slot * |s_asns| + asn slot) *)
+  s_arena : int_ba;  (* interned next-hop segments (ASN slots, ascending) *)
+  s_lpm : int Lpm.t;  (* origin LPM; value = prefix slot into s_pfx *)
 }
+
+let cls_code = function Cust -> 0 | Peer -> 1 | Prov -> 2
+let cls_of_code c = match c land 3 with 0 -> Cust | 1 -> Peer | _ -> Prov
+let w_dist w = (w lsr 2) land 0x3FF
+let w_count w = (w lsr 12) land 0xFFFFF
+let w_off w = (w lsr 32) land 0x3FFF_FFFF
+
+let pack_word ~cls ~dist ~count ~off =
+  if dist < 1 || dist > 0x3FF then
+    invalid_arg (Printf.sprintf "Bgp.freeze: dist %d outside packable range" dist);
+  if count < 1 || count > 0xFFFFF then
+    invalid_arg (Printf.sprintf "Bgp.freeze: %d next hops outside packable range" count);
+  if off < 0 || off > 0x3FFF_FFFF then
+    invalid_arg (Printf.sprintf "Bgp.freeze: arena offset %d outside packable range" off);
+  cls_code cls lor (dist lsl 2) lor (count lsl 12) lor (off lsl 32)
 
 type t = {
   net : Net.t;
@@ -268,28 +302,64 @@ let slot_of_array cmp a x =
   in
   go 0 (Array.length a)
 
+(* Packed-word access: 0 means "no route". Decoding rebuilds the boxed
+   [route] record on demand; the zero-allocation accessors below read
+   straight out of the word for hot loops that never need the record. *)
+let word_at s ~pslot ~aslot =
+  Bigarray.Array1.get s.s_words ((pslot * Array.length s.s_asns) + aslot)
+
+let decode_route s w =
+  let off = w_off w in
+  let cnt = w_count w in
+  let nexthops = ref Asn.Set.empty in
+  for k = off + cnt - 1 downto off do
+    nexthops := Asn.Set.add s.s_asns.(Bigarray.Array1.get s.s_arena k) !nexthops
+  done;
+  { cls = cls_of_code w;
+    dist = w_dist w;
+    nexthops = !nexthops;
+    (* Segments are ascending, so the first entry is the minimum — the
+       boxed representation's canonical parent. *)
+    parent = Some s.s_asns.(Bigarray.Array1.get s.s_arena off) }
+
+let route_at s ~pslot ~aslot =
+  if pslot < 0 || aslot < 0 then None
+  else match word_at s ~pslot ~aslot with 0 -> None | w -> Some (decode_route s w)
+
 let snap_route s asn p =
   let pi = slot_of_array Prefix.compare s.s_pfx p in
   if pi < 0 then None
   else
     let ai = slot_of_array Asn.compare s.s_asns asn in
-    if ai < 0 then None else s.s_tables.(pi).(ai)
+    route_at s ~pslot:pi ~aslot:ai
 
 let route t asn p =
   match t.frozen with
   | Some s -> snap_route s asn p
   | None -> Asn.Tbl.find_opt (table_for t p) asn
 
-let lookup t asn addr =
+(* Like [lookup], but also exposes the matched prefix's interned slot
+   (-1 on the lazy path): frozen callers that loop over lookups — the
+   forwarding plan's egress table, the crossing-link sweeps — reuse the
+   slot directly instead of re-binary-searching the prefix per query. *)
+let lookup_slot t asn addr =
   match t.frozen with
-  | Some s -> (
-    match Lpm.lookup s.s_lpm addr with
-    | None -> None
-    | Some (p, _) -> Some (p, snap_route s asn p))
+  | Some s ->
+    let i = Lpm.lookup_idx s.s_lpm addr in
+    if i < 0 then None
+    else
+      let pslot = Lpm.value_at s.s_lpm i in
+      let ai = slot_of_array Asn.compare s.s_asns asn in
+      Some (s.s_pfx.(pslot), pslot, route_at s ~pslot ~aslot:ai)
   | None -> (
     match Ptrie.lpm addr t.origin_trie with
     | None -> None
-    | Some (p, _) -> Some (p, route t asn p))
+    | Some (p, _) -> Some (p, -1, route t asn p))
+
+let lookup t asn addr =
+  match lookup_slot t asn addr with
+  | None -> None
+  | Some (p, _, r) -> Some (p, r)
 
 let as_path t asn p =
   if is_origin t asn p then Some [ asn ]
@@ -327,13 +397,57 @@ let freeze t =
     let asn_set = Asn.Set.union (Net.asns t.net) (B.As_rel.asns t.rels) in
     let s_asns = Array.of_list (Asn.Set.elements asn_set) in
     let n = Array.length s_asns in
-    let s_tables =
-      Array.map
-        (fun p ->
-          let tbl = compute t p in
-          Array.init n (fun i -> Asn.Tbl.find_opt tbl s_asns.(i)))
-        s_pfx
+    let np = Array.length s_pfx in
+    let aslot_tbl = Asn.Tbl.create ((2 * n) + 1) in
+    Array.iteri (fun i a -> Asn.Tbl.replace aslot_tbl a i) s_asns;
+    let aslot_of a =
+      match Asn.Tbl.find_opt aslot_tbl a with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Bgp.freeze: next hop AS%d unknown" a)
     in
+    let s_words = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (np * n) in
+    Bigarray.Array1.fill s_words 0;
+    (* Growable arena with segment interning: identical next-hop sets
+       (as ascending slot lists) share one segment. *)
+    let arena = ref (Array.make 1024 0) in
+    let alen = ref 0 in
+    let segments : (int list, int) Hashtbl.t = Hashtbl.create 4096 in
+    let intern_segment slots =
+      match Hashtbl.find_opt segments slots with
+      | Some off -> off
+      | None ->
+        let off = !alen in
+        List.iter
+          (fun s ->
+            if !alen >= Array.length !arena then begin
+              let bigger = Array.make (2 * Array.length !arena) 0 in
+              Array.blit !arena 0 bigger 0 !alen;
+              arena := bigger
+            end;
+            !arena.(!alen) <- s;
+            incr alen)
+          slots;
+        Hashtbl.replace segments slots off;
+        off
+    in
+    Array.iteri
+      (fun pi p ->
+        let tbl = compute t p in
+        let base = pi * n in
+        Asn.Tbl.iter
+          (fun asn (r : route) ->
+            (* [Asn.Set.elements] is ascending, and slots follow ASN
+               order, so the slot list is ascending too. *)
+            let slots = List.map aslot_of (Asn.Set.elements r.nexthops) in
+            let off = intern_segment slots in
+            Bigarray.Array1.set s_words (base + aslot_of asn)
+              (pack_word ~cls:r.cls ~dist:r.dist ~count:(List.length slots) ~off))
+          tbl)
+      s_pfx;
+    let s_arena = Bigarray.Array1.create Bigarray.int Bigarray.c_layout !alen in
+    for i = 0 to !alen - 1 do
+      Bigarray.Array1.set s_arena i !arena.(i)
+    done;
     { s_net = t.net;
       s_rels = t.rels;
       s_origin_trie = t.origin_trie;
@@ -342,8 +456,9 @@ let freeze t =
       s_prefixes = t.prefixes_memo;
       s_asns;
       s_pfx;
-      s_tables;
-      s_lpm = Lpm.build (Ptrie.bindings t.origin_trie) }
+      s_words;
+      s_arena;
+      s_lpm = Lpm.build (List.mapi (fun i p -> (p, i)) t.prefixes_memo) }
 
 let of_snapshot s =
   Obs.Metrics.incr "routing.snapshot.attaches";
@@ -358,38 +473,213 @@ let of_snapshot s =
     old_gen = Hashtbl.create 16;
     cache_hits = 0 }
 
+let snapshot_of t = t.frozen
+
 module Snapshot = struct
   type t = snapshot
 
   let route = snap_route
 
   let lookup s asn addr =
-    match Lpm.lookup s.s_lpm addr with
-    | None -> None
-    | Some (p, _) -> Some (p, snap_route s asn p)
-
-  let as_path s asn p =
-    let is_origin_ x =
-      match Ptrie.find_exact p s.s_origin_trie with
-      | None -> false
-      | Some os -> Asn.Set.mem x os
-    in
-    if is_origin_ asn then Some [ asn ]
+    let i = Lpm.lookup_idx s.s_lpm addr in
+    if i < 0 then None
     else
-      let rec follow x acc guard =
+      let pslot = Lpm.value_at s.s_lpm i in
+      let ai = slot_of_array Asn.compare s.s_asns asn in
+      Some (s.s_pfx.(pslot), route_at s ~pslot ~aslot:ai)
+
+  (* Parent chains walk packed words directly: each hop is one word
+     fetch plus one arena fetch (the segment head is the canonical
+     parent), with the origin set resolved once up front. *)
+  let as_path s asn p =
+    let os =
+      Option.value ~default:Asn.Set.empty (Ptrie.find_exact p s.s_origin_trie)
+    in
+    if Asn.Set.mem asn os then Some [ asn ]
+    else
+      let pslot = slot_of_array Prefix.compare s.s_pfx p in
+      let rec follow aslot acc guard =
+        let x = s.s_asns.(aslot) in
         if guard > 64 then None
-        else if is_origin_ x then Some (List.rev (x :: acc))
+        else if Asn.Set.mem x os then Some (List.rev (x :: acc))
         else
-          match snap_route s x p with
-          | None -> None
-          | Some r -> (
-            match r.parent with
-            | None -> Some (List.rev (x :: acc))
-            | Some y -> follow y (x :: acc) (guard + 1))
+          match word_at s ~pslot ~aslot with
+          | 0 -> None
+          | w ->
+            follow
+              (Bigarray.Array1.get s.s_arena (w_off w))
+              (x :: acc) (guard + 1)
       in
-      follow asn [] 0
+      if pslot < 0 then None
+      else
+        let a0 = slot_of_array Asn.compare s.s_asns asn in
+        if a0 < 0 then None else follow a0 [] 0
 
   let prefixes s = s.s_prefixes
   let prefix_count s = Array.length s.s_pfx
   let asn_count s = Array.length s.s_asns
+  let arena_length s = Bigarray.Array1.dim s.s_arena
+
+  (* Zero-allocation slot layer: interned indices in, plain ints out.
+     These are the read primitives for hot sweeps (bench query loops,
+     the forwarding plan, the future query service). *)
+  let asn_slot s asn = slot_of_array Asn.compare s.s_asns asn
+  let prefix_slot s p = slot_of_array Prefix.compare s.s_pfx p
+  let asn_of_slot s i = s.s_asns.(i)
+  let prefix_of_slot s i = s.s_pfx.(i)
+
+  let word s ~pslot ~aslot =
+    if pslot < 0 || aslot < 0 then 0 else word_at s ~pslot ~aslot
+
+  let word_class w = cls_of_code w
+  let word_dist w = w_dist w
+  let word_nexthop_count w = w_count w
+  let nexthop_slot s w k = Bigarray.Array1.get s.s_arena (w_off w + k)
+  let parent_slot s w = Bigarray.Array1.get s.s_arena (w_off w)
+  let route_at = route_at
+
+  let lookup_pslot s addr =
+    let i = Lpm.lookup_idx s.s_lpm addr in
+    if i < 0 then -1 else Lpm.value_at s.s_lpm i
+
+  (* {2 Serialization}
+
+     A snapshot entry is raw packed arenas plus marshaled boxed
+     metadata, guarded by the same header/digest discipline as
+     [lib/store] entries:
+
+       offset  size  field
+       0       4     magic "BDSN"
+       4       4     codec version (big-endian)
+       8       16    MD5 digest of the payload
+       24      8     payload length (big-endian)
+       32      n     payload
+
+     payload := u64 n_pfx | u64 n_asn | u64 |words| | u64 |arena|
+              | words (8 bytes each, big-endian)
+              | arena (8 bytes each, big-endian)
+              | marshaled (net, rels, origin_trie, originated,
+                           selective, prefixes, asns, pfx)
+
+     The LPM is rebuilt on load (a pure function of the prefix list)
+     rather than shipped. Any flipped byte fails the digest check; a
+     wrong declared length fails before any allocation is sized from
+     attacker-controlled counts. *)
+  type decode_error = Truncated | Bad_magic | Bad_version of int | Corrupt
+
+  let error_label = function
+    | Truncated -> "truncated"
+    | Bad_magic -> "bad magic"
+    | Bad_version v -> Printf.sprintf "unsupported version %d" v
+    | Corrupt -> "corrupt"
+
+  let codec_version = 1
+  let magic = "BDSN"
+  let header_len = 32
+
+  let to_bytes s =
+    let np = Array.length s.s_pfx in
+    let n = Array.length s.s_asns in
+    let nw = Bigarray.Array1.dim s.s_words in
+    let na = Bigarray.Array1.dim s.s_arena in
+    let meta =
+      Marshal.to_string
+        ( s.s_net, s.s_rels, s.s_origin_trie, s.s_originated, s.s_selective,
+          s.s_prefixes, s.s_asns, s.s_pfx )
+        []
+    in
+    let payload_len = 32 + (8 * nw) + (8 * na) + String.length meta in
+    let b = Bytes.create (header_len + payload_len) in
+    let pos = ref header_len in
+    let put_u64 v =
+      Bytes.set_int64_be b !pos (Int64.of_int v);
+      pos := !pos + 8
+    in
+    put_u64 np;
+    put_u64 n;
+    put_u64 nw;
+    put_u64 na;
+    for i = 0 to nw - 1 do
+      put_u64 (Bigarray.Array1.get s.s_words i)
+    done;
+    for i = 0 to na - 1 do
+      put_u64 (Bigarray.Array1.get s.s_arena i)
+    done;
+    Bytes.blit_string meta 0 b !pos (String.length meta);
+    Bytes.blit_string magic 0 b 0 4;
+    Bytes.set_int32_be b 4 (Int32.of_int codec_version);
+    let digest = Digest.subbytes b header_len payload_len in
+    Bytes.blit_string digest 0 b 8 16;
+    Bytes.set_int64_be b 24 (Int64.of_int payload_len);
+    b
+
+  let of_bytes b =
+    let len = Bytes.length b in
+    if len < header_len then Error Truncated
+    else if not (String.equal (Bytes.sub_string b 0 4) magic) then Error Bad_magic
+    else
+      let version = Int32.to_int (Bytes.get_int32_be b 4) in
+      if version <> codec_version then Error (Bad_version version)
+      else
+        let payload_len = Int64.to_int (Bytes.get_int64_be b 24) in
+        if payload_len < 32 || len <> header_len + payload_len then Error Truncated
+        else if
+          not
+            (String.equal
+               (Bytes.sub_string b 8 16)
+               (Digest.subbytes b header_len payload_len))
+        then Error Corrupt
+        else begin
+          let u64_at off = Int64.to_int (Bytes.get_int64_be b off) in
+          let np = u64_at header_len in
+          let n = u64_at (header_len + 8) in
+          let nw = u64_at (header_len + 16) in
+          let na = u64_at (header_len + 24) in
+          let arrays_len = 8 * (nw + na) in
+          if
+            np < 0 || n < 0 || nw <> np * n || na < 0
+            || payload_len < 32 + arrays_len
+          then Error Corrupt
+          else begin
+            let s_words = Bigarray.Array1.create Bigarray.int Bigarray.c_layout nw in
+            let s_arena = Bigarray.Array1.create Bigarray.int Bigarray.c_layout na in
+            let pos = ref (header_len + 32) in
+            for i = 0 to nw - 1 do
+              Bigarray.Array1.set s_words i (u64_at !pos);
+              pos := !pos + 8
+            done;
+            for i = 0 to na - 1 do
+              Bigarray.Array1.set s_arena i (u64_at !pos);
+              pos := !pos + 8
+            done;
+            match
+              (Marshal.from_string (Bytes.unsafe_to_string b) !pos
+                : Net.t
+                  * B.As_rel.t
+                  * Asn.Set.t Ptrie.t
+                  * (Prefix.t * Asn.Set.t) list
+                  * int list Prefix.Map.t Asn.Map.t
+                  * Prefix.t list
+                  * Asn.t array
+                  * Prefix.t array)
+            with
+            | net, rels, trie, originated, selective, prefixes, asns, pfx ->
+              if Array.length pfx <> np || Array.length asns <> n then
+                Error Corrupt
+              else
+                Ok
+                  { s_net = net;
+                    s_rels = rels;
+                    s_origin_trie = trie;
+                    s_originated = originated;
+                    s_selective = selective;
+                    s_prefixes = prefixes;
+                    s_asns = asns;
+                    s_pfx = pfx;
+                    s_words;
+                    s_arena;
+                    s_lpm = Lpm.build (List.mapi (fun i p -> (p, i)) prefixes) }
+            | exception _ -> Error Corrupt
+          end
+        end
 end

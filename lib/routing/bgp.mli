@@ -11,9 +11,12 @@
     - the lazy [t] computes per-prefix tables on demand behind a
       two-generation cache — right for tiny one-shot runs;
     - a frozen {!snapshot} computes every originated prefix once and
-      flattens the results into immutable dense arrays, which makes it
-      pure data: safe to share by reference across [Netcore.Pool]
-      domains with zero per-worker rebuild. *)
+      packs the results into flat int arenas ([Bigarray]s the GC never
+      traces): one packed word per (prefix, ASN) route plus a shared
+      next-hop arena. Pure data — safe to share by reference across
+      [Netcore.Pool] domains with zero per-worker rebuild, and
+      serializable to raw bytes ({!Snapshot.to_bytes}) for other
+      processes. *)
 
 open Netcore
 module Net = Topogen.Net
@@ -56,6 +59,13 @@ val is_origin : t -> Asn.t -> Prefix.t -> bool
     returns the matched prefix with the best route. *)
 val lookup : t -> Asn.t -> Ipv4.t -> (Prefix.t * route option) option
 
+(** [lookup_slot t asn addr] is {!lookup} plus the matched prefix's
+    interned snapshot slot, or [-1] on the lazy (unfrozen) path. Callers
+    that loop over lookups — the forwarding plan, the crossing-link
+    sweeps — thread the slot to {!Snapshot.route_at}-style accessors
+    instead of re-binary-searching the prefix per query. *)
+val lookup_slot : t -> Asn.t -> Ipv4.t -> (Prefix.t * int * route option) option
+
 (** [as_path t asn p] is the AS path [asn] would report toward [p]
     (leftmost = [asn], rightmost = origin), or [None] if unreachable. *)
 val as_path : t -> Asn.t -> Prefix.t -> Asn.t list option
@@ -89,6 +99,9 @@ val freeze : t -> snapshot
     Counted under [routing.snapshot.attaches]. *)
 val of_snapshot : snapshot -> t
 
+(** [snapshot_of t] is the snapshot [t] answers from, if frozen. *)
+val snapshot_of : t -> snapshot option
+
 module Snapshot : sig
   type t = snapshot
 
@@ -98,4 +111,68 @@ module Snapshot : sig
   val prefixes : t -> Prefix.t list
   val prefix_count : t -> int
   val asn_count : t -> int
+
+  (** {2 Slot layer}
+
+      Zero-allocation access for hot sweeps: intern an ASN/prefix to
+      its slot once, then read packed route {e words} — plain ints
+      carrying class, dist, next-hop count, and the arena offset of the
+      next-hop segment. No heap traffic on any of these paths. *)
+
+  (** [asn_slot s asn] / [prefix_slot s p] intern to a slot; [-1] when
+      absent (then every route word is 0). *)
+  val asn_slot : t -> Asn.t -> int
+
+  val prefix_slot : t -> Prefix.t -> int
+  val asn_of_slot : t -> int -> Asn.t
+  val prefix_of_slot : t -> int -> Prefix.t
+
+  (** [word s ~pslot ~aslot] is the packed route word, or [0] for "no
+      route" (also when either slot is [-1]). *)
+  val word : t -> pslot:int -> aslot:int -> int
+
+  val word_class : int -> route_class
+  val word_dist : int -> int
+  val word_nexthop_count : int -> int
+
+  (** [nexthop_slot s w k] is the [k]-th next-hop ASN slot of a
+      non-zero word [w] ([0 <= k < word_nexthop_count w]), ascending;
+      [parent_slot s w = nexthop_slot s w 0] is the canonical parent. *)
+  val nexthop_slot : t -> int -> int -> int
+
+  val parent_slot : t -> int -> int
+
+  (** [route_at s ~pslot ~aslot] decodes the word into a boxed
+      {!route} (allocates; hot loops should stay on words). *)
+  val route_at : t -> pslot:int -> aslot:int -> route option
+
+  (** [lookup_pslot s addr] is the LPM-matched prefix slot, or [-1].
+      Allocation-free. *)
+  val lookup_pslot : t -> Ipv4.t -> int
+
+  (** Total length of the interned next-hop arena (diagnostics). *)
+  val arena_length : t -> int
+
+  (** {2 Serialization}
+
+      A snapshot round-trips through raw bytes under the same
+      header/digest discipline as [lib/store] entries: magic ["BDSN"],
+      codec version, MD5 digest over the payload, declared payload
+      length. Packed arenas are written as raw words; only the boxed
+      metadata (net, relationships, origin trie) goes through
+      [Marshal]. The LPM is rebuilt on load. *)
+
+  type decode_error = Truncated | Bad_magic | Bad_version of int | Corrupt
+
+  val error_label : decode_error -> string
+
+  (** Current serialization format version (bump on layout change). *)
+  val codec_version : int
+
+  val to_bytes : t -> bytes
+
+  (** [of_bytes b] validates header, version, digest, and declared
+      counts before reconstructing; any flipped byte is [Corrupt], any
+      short read [Truncated]. *)
+  val of_bytes : bytes -> (t, decode_error) result
 end

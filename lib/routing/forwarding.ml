@@ -3,12 +3,24 @@ module Net = Topogen.Net
 
 (* A frozen forwarding plan: IGP distance tables, egress choices and
    the interdomain-link index precomputed once and never written again.
-   Read-only hashtables are safe to share by reference across pool
-   domains ([Hashtbl.find_opt] does not mutate); each worker keeps its
-   own private tables for the (cold) keys the plan does not cover. *)
+   The bulk — distance rows, egress lids — is packed into flat Bigarray
+   rows the GC never traces, indexed by small per-router row tables;
+   each worker keeps its own private tables for the (cold) keys the
+   plan does not cover.
+
+   [p_egress] encodes one int per (planned router, prefix slot):
+   [-2] unplanned (fall back to the private memo), [-1] planned with no
+   egress, otherwise the chosen link id. *)
+type float_ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type plan = {
-  p_igp : (int, float array) Hashtbl.t;
-  p_egress : (int * Prefix.t, int) Hashtbl.t;
+  p_routers : int;  (* row stride of [p_igp] *)
+  p_igp_row : int array;  (* target rid -> row index into [p_igp], or -1 *)
+  p_igp : float_ba;  (* rows x p_routers IGP distances *)
+  p_egr_row : int array;  (* rid -> row index into [p_egress], or -1 *)
+  p_pfx : Prefix.t array;  (* sorted prefix slots; = Bgp snapshot slots *)
+  p_egress : int_ba;  (* rows x |p_pfx| egress lids (-2 unplanned, -1 none) *)
   p_between : (Asn.t * Asn.t, Net.link list) Hashtbl.t;
 }
 
@@ -87,26 +99,29 @@ let compute_dist net target =
   drain ();
   dist
 
-let dist_to t target =
-  let planned =
-    match t.plan with
-    | Some plan -> Hashtbl.find_opt plan.p_igp target
-    | None -> None
-  in
-  match planned with
-  | Some d -> d
-  | None -> (
-    match Hashtbl.find_opt t.igp target with
-    | Some d -> d
-    | None ->
-      let dist = compute_dist t.net target in
-      Hashtbl.replace t.igp target dist;
-      dist)
+(* Distance from [rid] to [target] (same AS assumed). Planned targets
+   read one float out of the packed row — no allocation, no hashing;
+   unplanned targets fall back to the private per-instance memo. *)
+let dist_at t ~target ~rid =
+  match t.plan with
+  | Some plan when plan.p_igp_row.(target) >= 0 ->
+    Bigarray.Array1.get plan.p_igp
+      ((plan.p_igp_row.(target) * plan.p_routers) + rid)
+  | _ -> (
+    let dist =
+      match Hashtbl.find_opt t.igp target with
+      | Some d -> d
+      | None ->
+        let dist = compute_dist t.net target in
+        Hashtbl.replace t.igp target dist;
+        dist
+    in
+    dist.(rid))
 
 let igp_distance t ~from_rid ~to_rid =
   let ra = Net.router t.net from_rid and rb = Net.router t.net to_rid in
   if not (Asn.equal ra.Net.owner rb.Net.owner) then infinity
-  else (dist_to t to_rid).(from_rid)
+  else dist_at t ~target:to_rid ~rid:from_rid
 
 (* Next internal hop from [rid] toward [target]: among the neighbors
    whose (link weight + distance) lies within the ECMP tolerance of the
@@ -120,13 +135,13 @@ let ecmp_tolerance = 1.02
 let internal_next_hop ?(flow = 0) t rid target =
   if rid = target then None
   else begin
-    let dist = dist_to t target in
     let candidates = ref [] in
     let best = ref infinity in
     List.iter
       (fun ((l : Net.link), y) ->
-        if dist.(y) < infinity then begin
-          let d = l.Net.weight +. dist.(y) in
+        let dy = dist_at t ~target ~rid:y in
+        if dy < infinity then begin
+          let d = l.Net.weight +. dy in
           if d < !best then best := d;
           candidates := (d, l) :: !candidates
         end)
@@ -197,59 +212,135 @@ let egress_lid t rid p route =
   | Some (_, l) -> l.Net.lid
   | None -> -1
 
-let choose_egress t rid p (route : Bgp.route) =
+let pfx_slot pfx p =
+  let rec go lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      match Prefix.compare p pfx.(mid) with
+      | 0 -> mid
+      | c when c < 0 -> go lo mid
+      | _ -> go (mid + 1) hi
+  in
+  go 0 (Array.length pfx)
+
+(* [pslot], when >= 0, is [p]'s interned slot (as handed out by
+   [Bgp.lookup_slot]); passing it skips the per-query binary search into
+   the plan's prefix table. *)
+let choose_egress ?(pslot = -1) t rid p (route : Bgp.route) =
+  let planned =
+    match t.plan with
+    | Some plan when plan.p_egr_row.(rid) >= 0 ->
+      let col = if pslot >= 0 then pslot else pfx_slot plan.p_pfx p in
+      if col < 0 then -2
+      else
+        Bigarray.Array1.get plan.p_egress
+          ((plan.p_egr_row.(rid) * Array.length plan.p_pfx) + col)
+    | _ -> -2
+  in
   let lid =
-    match
-      match t.plan with
-      | Some plan -> Hashtbl.find_opt plan.p_egress (rid, p)
-      | None -> None
-    with
-    | Some lid -> lid
-    | None -> (
+    if planned > -2 then planned
+    else
       match Hashtbl.find_opt t.egress_memo (rid, p) with
       | Some lid -> lid
       | None ->
         let lid = egress_lid t rid p route in
         Hashtbl.replace t.egress_memo (rid, p) lid;
-        lid)
+        lid
   in
   if lid < 0 then None else Some (Net.link t.net lid)
 
 let freeze ?(egress_for = Asn.Set.empty) t =
   Obs.Metrics.incr "routing.plan.builds";
   let p_between = build_between t.net in
-  (* IGP tables for every interdomain-link endpoint: these routers are
+  let p_routers = Net.router_count t.net in
+  (* IGP rows for every interdomain-link endpoint: these routers are
      the targets of all egress scoring and of the internal walks toward
      an egress, and they are identical for every VP. Home-router targets
      stay lazy in each worker's private table. *)
-  let p_igp = Hashtbl.create 512 in
+  let p_igp_row = Array.make p_routers (-1) in
+  let igp_targets = ref [] in
+  let igp_rows = ref 0 in
   List.iter
     (fun (l : Net.link) ->
       List.iter
         (fun rid ->
-          if not (Hashtbl.mem p_igp rid) then
-            Hashtbl.replace p_igp rid (compute_dist t.net rid))
+          if p_igp_row.(rid) < 0 then begin
+            p_igp_row.(rid) <- !igp_rows;
+            incr igp_rows;
+            igp_targets := rid :: !igp_targets
+          end)
         [ fst l.Net.a; fst l.Net.b ])
     (Net.interdomain_links t.net);
+  let p_igp =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+      (!igp_rows * p_routers)
+  in
+  List.iter
+    (fun rid ->
+      let dist = compute_dist t.net rid in
+      let base = p_igp_row.(rid) * p_routers in
+      for i = 0 to p_routers - 1 do
+        Bigarray.Array1.set p_igp (base + i) dist.(i)
+      done)
+    !igp_targets;
   (* Egress choices for the hot ASes (the VP-owning ones): every probe
-     starts there, so these (rid, prefix) pairs recur in every worker. *)
-  let p_egress = Hashtbl.create 4096 in
-  let scored = { t with plan = Some { p_igp; p_egress; p_between } } in
+     starts there, so these (rid, prefix slot) pairs recur in every
+     worker. Prefix columns follow [Bgp.prefixes] order, which is the
+     snapshot's slot order, so [Bgp.lookup_slot] slots index directly. *)
+  let p_pfx = Array.of_list (Bgp.prefixes t.bgp) in
+  let np = Array.length p_pfx in
+  let p_egr_row = Array.make p_routers (-1) in
+  let egr_rows = ref 0 in
   Asn.Set.iter
     (fun asn ->
       List.iter
         (fun (r : Net.router) ->
-          List.iter
-            (fun p ->
-              match Bgp.route t.bgp asn p with
-              | None -> ()
-              | Some route ->
-                Hashtbl.replace p_egress (r.Net.rid, p)
-                  (egress_lid scored r.Net.rid p route))
-            (Bgp.prefixes t.bgp))
+          if p_egr_row.(r.Net.rid) < 0 then begin
+            p_egr_row.(r.Net.rid) <- !egr_rows;
+            incr egr_rows
+          end)
         (Net.routers_of t.net asn))
     egress_for;
-  { p_igp; p_egress; p_between }
+  let p_egress =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (!egr_rows * np)
+  in
+  Bigarray.Array1.fill p_egress (-2);
+  let plan =
+    { p_routers; p_igp_row; p_igp; p_egr_row; p_pfx; p_egress; p_between }
+  in
+  (* Scoring runs against the plan itself: the IGP rows above are
+     exactly the distances egress selection needs, and the [-2] fill
+     keeps unwritten egress cells on the lazy path during the fill. *)
+  let scored = { t with plan = Some plan } in
+  let snap = Bgp.snapshot_of t.bgp in
+  Asn.Set.iter
+    (fun asn ->
+      (* Slot hoisting: intern the ASN once per AS and walk prefix
+         slots directly instead of binary-searching per (router,
+         prefix) query. *)
+      let aslot =
+        match snap with Some s -> Bgp.Snapshot.asn_slot s asn | None -> -1
+      in
+      List.iter
+        (fun (r : Net.router) ->
+          let base = p_egr_row.(r.Net.rid) * np in
+          Array.iteri
+            (fun pi p ->
+              let route =
+                match snap with
+                | Some s -> Bgp.Snapshot.route_at s ~pslot:pi ~aslot
+                | None -> Bgp.route t.bgp asn p
+              in
+              match route with
+              | None -> ()
+              | Some route ->
+                Bigarray.Array1.set p_egress (base + pi)
+                  (egress_lid scored r.Net.rid p route))
+            p_pfx)
+        (Net.routers_of t.net asn))
+    egress_for;
+  plan
 
 type hop = Deliver | Sink | Forward of Net.link | Unreachable
 
@@ -283,10 +374,10 @@ let next_hop ?(flow = 0) t ~rid ~dst =
         | Some l -> Forward l
         | None -> Unreachable)
     | _ -> (
-      match Bgp.lookup t.bgp r.Net.owner dst with
-      | None | Some (_, None) -> Unreachable
-      | Some (p, Some route) -> (
-        match choose_egress t rid p route with
+      match Bgp.lookup_slot t.bgp r.Net.owner dst with
+      | None | Some (_, _, None) -> Unreachable
+      | Some (p, pslot, Some route) -> (
+        match choose_egress ~pslot t rid p route with
         | None -> Unreachable
         | Some l ->
           let near =
@@ -305,9 +396,9 @@ let egress_link t ~rid ~dst =
   match Net.home_of t.net dst with
   | Some home when Asn.equal home.Net.owner r.Net.owner -> None
   | _ -> (
-    match Bgp.lookup t.bgp r.Net.owner dst with
-    | None | Some (_, None) -> None
-    | Some (p, Some route) -> choose_egress t rid p route)
+    match Bgp.lookup_slot t.bgp r.Net.owner dst with
+    | None | Some (_, _, None) -> None
+    | Some (p, pslot, Some route) -> choose_egress ~pslot t rid p route)
 
 type step = { rid : int; in_link : Net.link option }
 

@@ -17,8 +17,10 @@ type t
     interdomain-link endpoint, egress choices for the hot (VP-owning)
     ASes, and the interdomain-link index — precomputed once and never
     written again, so a plan is safe to share by reference across
-    [Netcore.Pool] domains. Keys outside the plan fall back to each
-    worker's private lazy tables. *)
+    [Netcore.Pool] domains. The distance and egress tables are packed
+    into flat [Bigarray] rows (GC-invisible plain words) indexed by
+    small per-router row tables; keys outside the plan fall back to
+    each worker's private lazy tables. *)
 type plan
 
 (** [create ?plan net bgp] builds forwarding state over [bgp]. With

@@ -97,9 +97,59 @@ let test_slot_boundaries () =
   Alcotest.(check int) "length" 4 (Lpm.length t);
   Alcotest.(check int) "fold visits all" 4 (Lpm.fold (fun _ _ n -> n + 1) t 0)
 
+let prop_lookup_idx =
+  QCheck.Test.make ~name:"Lpm.lookup_idx resolves to Lpm.lookup" ~count:300
+    arb_prefixes (fun ps ->
+      let bindings = bindings_of ps in
+      let t = Lpm.build bindings in
+      List.for_all
+        (fun a ->
+          let i = Lpm.lookup_idx t a in
+          if i < 0 then Lpm.lookup t a = None
+          else Lpm.lookup t a = Some (Lpm.prefix_at t i, Lpm.value_at t i))
+        (probe_addrs ps))
+
+let test_lookup_idx_zero_alloc () =
+  (* The CSR query path must not allocate: 100k lookup_idx calls over a
+     table with both short-slot and bucket hits, misses included. The
+     bound is a handful of words rather than exactly zero because
+     [Gc.minor_words] itself returns a boxed float (2-3 words per
+     call), and that noise must not hide a per-lookup allocation — one
+     word per lookup would blow the bound by orders of magnitude. *)
+  let t =
+    Lpm.build
+      (List.mapi
+         (fun i s -> (Prefix.of_string_exn s, i))
+         [ "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24"; "10.1.2.3/32";
+           "10.1.2.128/25"; "192.0.2.0/24" ])
+  in
+  let addrs =
+    Array.map Ipv4.of_string_exn
+      [| "10.1.2.3"; "10.1.2.200"; "10.1.9.9"; "10.200.0.1"; "192.0.2.77";
+         "11.0.0.1" |]
+  in
+  let n = Array.length addrs in
+  let acc = ref 0 in
+  let run rounds =
+    for k = 0 to rounds - 1 do
+      acc := !acc + Lpm.lookup_idx t (Array.unsafe_get addrs (k mod n))
+    done
+  in
+  run 1000 (* warm up: fault in any lazy runtime state before measuring *);
+  let before = Gc.minor_words () in
+  run 100_000;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "100k lookups allocated %.0f minor words" delta)
+    true (delta < 256.0);
+  Alcotest.(check bool) "lookups actually ran" true (!acc <> 0)
+
 let suite =
   [ Alcotest.test_case "empty table" `Quick test_empty;
     Alcotest.test_case "slot boundary cases" `Quick test_slot_boundaries;
+    Alcotest.test_case "lookup_idx allocates nothing" `Quick
+      test_lookup_idx_zero_alloc;
     QCheck_alcotest.to_alcotest prop_vs_naive;
     QCheck_alcotest.to_alcotest prop_vs_ptrie;
-    QCheck_alcotest.to_alcotest prop_find_exact ]
+    QCheck_alcotest.to_alcotest prop_find_exact;
+    QCheck_alcotest.to_alcotest prop_lookup_idx ]

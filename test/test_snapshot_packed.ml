@@ -1,0 +1,156 @@
+(* The packed snapshot (flat route words + next-hop arena in
+   GC-invisible Bigarrays) pinned against the lazy boxed evaluator over
+   random worlds, plus the raw-byte codec: round-trip identity, and
+   typed rejection of corrupted, truncated, and mislabeled entries in
+   the lib/store miss style. *)
+
+open Netcore
+module Net = Topogen.Net
+module Gen = Topogen.Gen
+module Bgp = Routing.Bgp
+module S = Bgp.Snapshot
+
+let bgp_of (w : Gen.world) =
+  Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+    ~selective:w.Gen.selective
+
+(* Route records hold Asn.Set.t values; compare through a projection so
+   the checks do not depend on balanced-tree internals. *)
+let proj = function
+  | None -> None
+  | Some (r : Bgp.route) ->
+    Some (r.cls, r.dist, Asn.Set.elements r.nexthops, r.parent)
+
+(* Random worlds: the r_and_e preset (the smallest parameterized
+   scenario) across random seeds and scales. Worlds are deterministic
+   in (scale, seed), so shrinking stays meaningful. *)
+let arb_world =
+  QCheck.make
+    ~print:(fun (scale, seed) -> Printf.sprintf "scale=%.2f seed=%d" scale seed)
+    QCheck.Gen.(pair (map (fun n -> 0.3 +. (0.1 *. float_of_int n)) (int_bound 7))
+                  (int_bound 10_000))
+
+let prop_packed_equals_boxed =
+  QCheck.Test.make ~name:"packed snapshot = boxed evaluator on random worlds"
+    ~count:10 arb_world (fun (scale, seed) ->
+      let w = Gen.generate (Topogen.Scenario.r_and_e ~scale ~seed ()) in
+      let snap = Bgp.freeze (bgp_of w) in
+      let boxed = bgp_of w in
+      let asns = Asn.Set.elements (Net.asns w.Gen.net) in
+      let prefixes = Bgp.prefixes boxed in
+      (* route: every (ASN, prefix) cell of the packed matrix decodes to
+         the boxed record. *)
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun asn -> proj (S.route snap asn p) = proj (Bgp.route boxed asn p))
+            asns)
+        prefixes
+      (* lookup: LPM resolution agrees on hits, misses and boundaries. *)
+      && (let lproj = Option.map (fun (p, r) -> (p, proj r)) in
+          let probes =
+            Ipv4.of_string_exn "203.0.113.9"
+            :: List.concat_map
+                 (fun p -> [ Prefix.first p; Prefix.last p ])
+                 prefixes
+          in
+          List.for_all
+            (fun addr ->
+              lproj (S.lookup snap w.Gen.host_asn addr)
+              = lproj (Bgp.lookup boxed w.Gen.host_asn addr))
+            probes)
+      (* as_path: the packed parent-slot walk reproduces the boxed
+         parent chain for every AS in the world. *)
+      && List.for_all
+           (fun p ->
+             List.for_all
+               (fun asn -> S.as_path snap asn p = Bgp.as_path boxed asn p)
+               asns)
+           prefixes)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization. *)
+
+let tiny_snapshot =
+  lazy (Bgp.freeze (bgp_of (Gen.generate Topogen.Scenario.tiny)))
+
+let err_label = function
+  | Ok _ -> "ok"
+  | Error e -> S.error_label e
+
+let test_roundtrip () =
+  let snap = Lazy.force tiny_snapshot in
+  let b = S.to_bytes snap in
+  match S.of_bytes b with
+  | Error e -> Alcotest.failf "round-trip rejected: %s" (S.error_label e)
+  | Ok snap' ->
+    Alcotest.(check int) "prefix_count" (S.prefix_count snap) (S.prefix_count snap');
+    Alcotest.(check int) "asn_count" (S.asn_count snap) (S.asn_count snap');
+    Alcotest.(check int) "arena_length" (S.arena_length snap) (S.arena_length snap');
+    Alcotest.(check bool) "prefixes" true (S.prefixes snap' = S.prefixes snap);
+    (* Every packed word survives: decode both sides cell by cell. *)
+    let np = S.prefix_count snap and na = S.asn_count snap in
+    for pslot = 0 to np - 1 do
+      for aslot = 0 to na - 1 do
+        if S.word snap' ~pslot ~aslot <> S.word snap ~pslot ~aslot then
+          Alcotest.failf "word (%d, %d) drifted through the codec" pslot aslot
+      done
+    done;
+    (* The decoded snapshot answers queries like the original. *)
+    List.iter
+      (fun p ->
+        List.iter
+          (fun asn ->
+            Alcotest.(check bool)
+              (Printf.sprintf "route AS%d %s" asn (Prefix.to_string p))
+              true
+              (proj (S.route snap' asn p) = proj (S.route snap asn p)))
+          [ 64500; 64501; 65000 ])
+      (S.prefixes snap);
+    (* Re-encoding is byte-identical: the codec is canonical. *)
+    Alcotest.(check bool) "re-encode is byte-identical" true
+      (Bytes.equal (S.to_bytes snap') b)
+
+let expect_error name b expected =
+  let got = err_label (S.of_bytes b) in
+  Alcotest.(check string) name expected got
+
+let test_corrupted_byte_rejected () =
+  let snap = Lazy.force tiny_snapshot in
+  let b = S.to_bytes snap in
+  (* Flip one payload byte at several depths: the packed words, the
+     arena, and the marshaled metadata tail. Every flip must fail the
+     digest, never decode to a different snapshot. *)
+  List.iter
+    (fun frac ->
+      let b' = Bytes.copy b in
+      let pos = 32 + (frac * (Bytes.length b - 33) / 100) in
+      Bytes.set b' pos (Char.chr (Char.code (Bytes.get b' pos) lxor 0x40));
+      expect_error (Printf.sprintf "flip at %d%%" frac) b' "corrupt")
+    [ 0; 25; 50; 75; 100 ]
+
+let test_truncation_rejected () =
+  let snap = Lazy.force tiny_snapshot in
+  let b = S.to_bytes snap in
+  expect_error "empty" Bytes.empty "truncated";
+  expect_error "header only" (Bytes.sub b 0 32) "truncated";
+  expect_error "half payload" (Bytes.sub b 0 (Bytes.length b / 2)) "truncated";
+  expect_error "one byte short" (Bytes.sub b 0 (Bytes.length b - 1)) "truncated"
+
+let test_bad_magic_and_version () =
+  let snap = Lazy.force tiny_snapshot in
+  let b = S.to_bytes snap in
+  let wrong_magic = Bytes.copy b in
+  Bytes.set wrong_magic 0 'X';
+  expect_error "wrong magic" wrong_magic "bad magic";
+  let wrong_version = Bytes.copy b in
+  Bytes.set_int32_be wrong_version 4 99l;
+  expect_error "future version" wrong_version "unsupported version 99"
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_packed_equals_boxed;
+    Alcotest.test_case "to_bytes/of_bytes round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "corrupted byte rejected" `Quick test_corrupted_byte_rejected;
+    Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
+    Alcotest.test_case "bad magic / bad version rejected" `Quick
+      test_bad_magic_and_version ]
