@@ -2,10 +2,12 @@
    runtest alias: the snapshot must have been built at most once per
    multi-VP sweep (a per-worker rebuild would show builds exceeding the
    sweep count), every computed VP must have attached to a shared
-   snapshot, the schema-6 GC fields must be present, and the packed
+   snapshot, the schema-7 GC fields must be present, the packed
    scale-3 snapshot rows must show a warm query sweep that stays inside
    a near-zero GC major-words budget — the regression gate for the
-   route arenas staying GC-invisible. Plain string scanning — the
+   route arenas staying GC-invisible — and every adversarial corpus
+   scenario must hold its recorded accuracy floor, the regression gate
+   for inference *quality*. Plain string scanning — the
    emitter writes one object per line, and pulling in a JSON parser for
    a handful of assertions is not worth a dependency. *)
 
@@ -60,6 +62,67 @@ let row_field json ~row ~field =
     | None -> None
     | Some j -> Some (int_at line j))
 
+(* Floats are emitted as %.2f; scan sign, digits and one dot. *)
+let float_at json i =
+  let n = String.length json in
+  let j = ref i in
+  if !j < n && (json.[!j] = '-' || json.[!j] = '+') then incr j;
+  while
+    !j < n && ((json.[!j] >= '0' && json.[!j] <= '9') || json.[!j] = '.')
+  do
+    incr j
+  done;
+  float_of_string (String.sub json i (!j - i))
+
+(* Corpus rows are one object per line:
+   {"scenario": "<name>", "links_pct": ..., "links_floor": ..., ...}. *)
+let corpus_row_float line ~field =
+  match find_marker line (Printf.sprintf "\"%s\": " field) with
+  | None -> fail "corpus row %S lacks field %S" line field
+  | Some j -> float_at line j
+
+let check_corpus json =
+  let rec rows i acc =
+    match find_marker (String.sub json i (String.length json - i)) "{\"scenario\": \"" with
+    | None -> acc
+    | Some off ->
+      let start = i + off in
+      let line_end =
+        match String.index_from_opt json start '\n' with
+        | Some e -> e
+        | None -> String.length json
+      in
+      rows line_end (String.sub json (start - 14) (line_end - start + 14) :: acc)
+  in
+  let rows = List.rev (rows 0 []) in
+  if List.length rows < 8 then
+    fail "only %d corpus scenario rows (expected the full registry, >= 8)"
+      (List.length rows);
+  List.iter
+    (fun line ->
+      let name =
+        match find_marker line "{\"scenario\": \"" with
+        | None -> fail "malformed corpus row %S" line
+        | Some j -> (
+          match String.index_from_opt line j '"' with
+          | None -> fail "malformed corpus row %S" line
+          | Some e -> String.sub line j (e - j))
+      in
+      let links = corpus_row_float line ~field:"links_pct" in
+      let links_floor = corpus_row_float line ~field:"links_floor" in
+      let routers = corpus_row_float line ~field:"routers_pct" in
+      let routers_floor = corpus_row_float line ~field:"routers_floor" in
+      if links < links_floor then
+        fail
+          "corpus scenario %S: link accuracy %.2f%% fell below its floor %.2f%%"
+          name links links_floor;
+      if routers < routers_floor then
+        fail
+          "corpus scenario %S: router accuracy %.2f%% fell below its floor %.2f%%"
+          name routers routers_floor)
+    rows;
+  List.length rows
+
 (* Budget for GC major-heap allocation during the warm packed-snapshot
    query sweep: the sweep reads only Bigarray words through the
    zero-allocation slot layer, so anything beyond incidental noise
@@ -70,8 +133,8 @@ let warm_sweep_major_budget = 50_000
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
   let json = read_file path in
-  if not (contains ~sub:"\"schema\": \"bdrmap-bench/6\"" json) then
-    fail "schema is not bdrmap-bench/6";
+  if not (contains ~sub:"\"schema\": \"bdrmap-bench/7\"" json) then
+    fail "schema is not bdrmap-bench/7";
   List.iter
     (fun field ->
       if not (contains ~sub:(Printf.sprintf "\"%s\":" field) json) then
@@ -107,7 +170,9 @@ let () =
   if vp_computes > 0 && attaches < vp_computes then
     fail "%d computed VPs but only %d snapshot attaches — a worker bypassed the shared snapshot"
       vp_computes attaches;
+  let corpus_rows = check_corpus json in
   Printf.printf
     "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes, warm \
-     sweep within %d major-word budget)\n"
+     sweep within %d major-word budget, %d corpus scenarios above their floors)\n"
     builds (sweeps + crossing) attaches vp_computes warm_sweep_major_budget
+    corpus_rows

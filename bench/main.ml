@@ -117,6 +117,19 @@ let robustness () =
       robustness_rows := rows;
       Experiments.Exp_robustness.print Format.std_formatter rows)
 
+(* Adversarial corpus: accuracy on the named hostile worlds, one row
+   per scenario with its recorded floor. check_bench fails the build if
+   any scenario drops below its floor — inference quality is gated the
+   same way wall-clock regressions are. *)
+let corpus_rows : Experiments.Exp_corpus.row list ref = ref []
+
+let corpus () =
+  banner "Adversarial corpus: accuracy floors on hostile worlds";
+  timed "corpus" (fun () ->
+      let rows = Experiments.Exp_corpus.run ~scale () in
+      corpus_rows := rows;
+      Experiments.Exp_corpus.print Format.std_formatter rows)
+
 (* The multi-VP experiments again, serial vs pooled, on a warm
    environment (the world/engine cache makes the comparison about the
    per-VP sweep, not world generation). *)
@@ -400,6 +413,23 @@ let write_bench_json path =
     Printf.sprintf "  \"robustness\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row !robustness_rows))
   in
+  let corpus_block =
+    let row (r : Experiments.Exp_corpus.row) =
+      Printf.sprintf
+        "    {\"scenario\": \"%s\", \"links_pct\": %.2f, \"links_floor\": %.2f, \
+         \"routers_pct\": %.2f, \"routers_floor\": %.2f, \"coverage_pct\": %.2f, \
+         \"probes\": %d}"
+        (json_escape r.Experiments.Exp_corpus.name)
+        r.Experiments.Exp_corpus.links.Bdrmap.Validate.pct_correct
+        r.Experiments.Exp_corpus.link_floor
+        r.Experiments.Exp_corpus.routers.Bdrmap.Validate.pct_correct
+        r.Experiments.Exp_corpus.router_floor
+        r.Experiments.Exp_corpus.coverage_pct
+        r.Experiments.Exp_corpus.probes
+    in
+    Printf.sprintf "  \"corpus\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row !corpus_rows))
+  in
   let stages_block =
     let row (stage, count, wall_s, sim_s) =
       Printf.sprintf
@@ -424,8 +454,9 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/6\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
-    scale jobs experiments_block robustness_block stages_block metrics_block
+    "{\n  \"schema\": \"bdrmap-bench/7\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    scale jobs experiments_block robustness_block corpus_block stages_block
+    metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -443,6 +474,7 @@ let () =
   if jobs = 1 then begin
     experiments None;
     robustness ();
+    corpus ();
     store_comparison None;
     snapshot_comparison ();
     scale3_snapshot ();
@@ -455,6 +487,7 @@ let () =
         let pool = Some pool in
         experiments pool;
         robustness ();
+        corpus ();
         parallel_comparison pool;
         store_comparison pool;
         snapshot_comparison ();

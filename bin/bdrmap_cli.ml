@@ -447,7 +447,7 @@ let infer (scenario_name, scenario) scale seed collection_file obs =
    one-line error plus usage, not in the middle of a sweep. *)
 let experiment_names =
   [ "table1"; "validation"; "fig14"; "fig15"; "fig16"; "runtime"; "resource";
-    "baselines"; "ablation"; "robustness" ]
+    "baselines"; "ablation"; "robustness"; "corpus" ]
 
 let experiment_conv =
   let parse s =
@@ -486,7 +486,10 @@ let experiments scale names jobs store_dir obs =
           (* Opt-in experiments: not part of the default sweep (the fault
              sweep repeats collection five times, and the default run's
              output is a golden artifact downstream). *)
-          let extra = [ ("robustness", fun () -> Exp_print.robustness scale) ] in
+          let extra =
+            [ ("robustness", fun () -> Exp_print.robustness scale);
+              ("corpus", fun () -> Exp_print.corpus scale) ]
+          in
           let chosen =
             match names with
             | [] -> all

@@ -39,3 +39,7 @@ let baselines scale =
 let robustness scale =
   Experiments.Exp_robustness.print Format.std_formatter
     (Experiments.Exp_robustness.run ~scale ())
+
+let corpus scale =
+  Experiments.Exp_corpus.print Format.std_formatter
+    (Experiments.Exp_corpus.run ~scale ())

@@ -25,7 +25,10 @@ let inputs_of_world (w : Gen.world) bgp =
   let delegations =
     roundtrip B.Delegation.to_lines B.Delegation.of_lines w.Gen.delegations
   in
-  { rib; rels; ixp; delegations; vp_asns = w.Gen.siblings }
+  (* Inference sees the *published* siblings list (WHOIS in the paper),
+     which adversarial worlds can make incomplete; ground truth for
+     validation stays [w.siblings]. The two coincide by default. *)
+  { rib; rels; ixp; delegations; vp_asns = w.Gen.published_siblings }
 
 type run = {
   cfg : Config.t;

@@ -1,0 +1,72 @@
+module Gen = Topogen.Gen
+module Corpus = Topogen.Corpus
+
+type row = {
+  name : string;
+  target : string;
+  links : Bdrmap.Validate.summary;
+  routers : Bdrmap.Validate.summary;
+  link_floor : float;
+  router_floor : float;
+  coverage_pct : float;
+  probes : int;
+}
+
+let pass r =
+  r.links.Bdrmap.Validate.pct_correct >= r.link_floor
+  && r.routers.Bdrmap.Validate.pct_correct >= r.router_floor
+
+(* One row per named scenario: build its hostile world, run the full
+   pipeline from the first VP, validate against ground truth. Each
+   scenario gets a private engine so a repeated [run] in one process is
+   deterministic (the cached env's shared engine carries clock state). *)
+let run ?(scale = 0.15) () =
+  List.map
+    (fun (sc : Corpus.scenario) ->
+      Obs.Metrics.incr ("corpus.scenario." ^ sc.Corpus.sc_name);
+      let params = sc.Corpus.sc_params ~scale in
+      let env = Exp_common.make params in
+      let w = env.Exp_common.world in
+      let vp = List.hd w.Gen.vps in
+      let vp_asns = env.Exp_common.inputs.Bdrmap.Pipeline.vp_asns in
+      let engine = Probesim.Engine.create ~pps:100.0 w env.Exp_common.fwd in
+      let r = Bdrmap.Pipeline.execute engine env.Exp_common.inputs ~vp in
+      let evals =
+        Bdrmap.Validate.links w r.Bdrmap.Pipeline.graph
+          r.Bdrmap.Pipeline.inference
+      in
+      let table =
+        Bdrmap.Report.table1 ~rels:env.Exp_common.inputs.Bdrmap.Pipeline.rels
+          ~vp_asns r.Bdrmap.Pipeline.inference
+      in
+      { name = sc.Corpus.sc_name;
+        target = sc.Corpus.sc_target;
+        links = Bdrmap.Validate.summarize evals;
+        routers =
+          Bdrmap.Validate.router_accuracy w r.Bdrmap.Pipeline.graph
+            r.Bdrmap.Pipeline.inference;
+        link_floor = sc.Corpus.sc_link_floor;
+        router_floor = sc.Corpus.sc_router_floor;
+        coverage_pct = table.Bdrmap.Report.coverage_pct;
+        probes = Probesim.Engine.probe_count engine })
+    Corpus.all
+
+let print ppf rows =
+  Format.fprintf ppf
+    "== Experiment AC1: adversarial corpus accuracy floors ==@.";
+  Format.fprintf ppf "%-16s %6s %8s %7s %8s %7s %8s %7s %6s@." "scenario"
+    "links" "correct" "floor" "routers" "floor" "coverage" "probes" "gate";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-16s %6d %7.1f%% %6.1f%% %7.1f%% %6.1f%% %7.1f%% %7d %6s@." r.name
+        r.links.Bdrmap.Validate.total r.links.Bdrmap.Validate.pct_correct
+        r.link_floor r.routers.Bdrmap.Validate.pct_correct r.router_floor
+        r.coverage_pct r.probes
+        (if pass r then "pass" else "FAIL")
+    )
+    rows;
+  Format.fprintf ppf "@.Scenario targets:@.";
+  List.iter
+    (fun r -> Format.fprintf ppf "  %-16s %s@." r.name r.target)
+    rows

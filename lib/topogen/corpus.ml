@@ -1,0 +1,112 @@
+(* Named adversarial worlds: each scenario pushes one generator knob
+   family to an extreme chosen to break one of the paper's §4/§5.4
+   heuristics, and records the accuracy floor the pipeline must hold on
+   that world. Floors were calibrated empirically (see DESIGN.md §12):
+   run the corpus at the gated scale, then set each floor a safety
+   margin below the observed accuracy so the gate trips on regressions,
+   not on noise. *)
+
+type scenario = {
+  sc_name : string;
+  sc_target : string;
+  sc_detail : string;
+  sc_params : scale:float -> Gen.params;
+  sc_link_floor : float;
+  sc_router_floor : float;
+}
+
+(* All scenarios derive from the small_access preset: it is the
+   cheapest world with every structural feature present (IXPs, CDN
+   peers, a big peer, multihomed customers), so knob extremes — not
+   topology size — dominate what each scenario measures. Distinct seeds
+   keep the worlds structurally independent. *)
+let base ~seed ~name ~scale =
+  let p = Scenario.small_access ~scale ~seed () in
+  { p with Gen.name }
+
+let scenarios =
+  [ ( "moas_storm",
+      "ip2as origin mapping (§4.7 multi-origin prefixes)",
+      "every host prefix co-originated by a sibling",
+      30.0, 85.0,
+      fun ~scale ->
+        { (base ~seed:101 ~name:"moas_storm" ~scale) with
+          Gen.host_sibling_count = 3; p_moas = 1.0 } );
+    ( "hijacked_origin",
+      "ip2as origin disputes (hostile MOAS)",
+      "a third of host prefixes co-originated by unrelated remote ASes",
+      65.0, 82.0,
+      fun ~scale ->
+        { (base ~seed:102 ~name:"hijacked_origin" ~scale) with
+          Gen.p_hijack = 0.35 } );
+    ( "stale_ixp",
+      "IXP membership heuristic (§5.4.7)",
+      "95% of IXP ports missing from the public registry",
+      65.0, 84.0,
+      fun ~scale ->
+        { (base ~seed:103 ~name:"stale_ixp" ~scale) with
+          Gen.p_ixp_member = 0.05 } );
+    ( "sibling_shadow",
+      "sibling handling (published vs true org membership)",
+      "half of the sibling ASes hidden from the published list",
+      55.0, 88.0,
+      fun ~scale ->
+        { (base ~seed:104 ~name:"sibling_shadow" ~scale) with
+          Gen.host_sibling_count = 3; p_sibling_hidden = 0.5 } );
+    ( "alias_storm",
+      "alias resolution (shared IP-ID counters everywhere)",
+      "all routers share monotone IP-ID; many multihomed border pairs",
+      60.0, 85.0,
+      fun ~scale ->
+        { (base ~seed:105 ~name:"alias_storm" ~scale) with
+          Gen.p_ipid_shared = 1.0;
+          p_ipid_periface = 0.0;
+          p_ipid_random = 0.0;
+          p_multihomed_pair = 0.4 } );
+    ( "all_firewalled",
+      "firewalled-border heuristic (§5.4.2)",
+      "97% of customer borders firewalled",
+      72.0, 82.0,
+      fun ~scale ->
+        { (base ~seed:106 ~name:"all_firewalled" ~scale) with
+          Gen.p_cust_firewall = 0.97;
+          p_cust_silent = 0.02;
+          p_cust_echo_only = 0.01 } );
+    ( "silent_dark",
+      "silent/echo-only borders (§5.4.8)",
+      "most customer borders silent or echo-only",
+      70.0, 82.0,
+      fun ~scale ->
+        { (base ~seed:107 ~name:"silent_dark" ~scale) with
+          Gen.p_cust_silent = 0.6;
+          p_cust_echo_only = 0.3;
+          p_cust_firewall = 0.1 } );
+    ( "third_party_fog",
+      "third-party addresses (§5.4.5) + virtual routers",
+      "third-party replies at the knob maximum; 30% virtual routers",
+      30.0, 84.0,
+      fun ~scale ->
+        { (base ~seed:108 ~name:"third_party_fog" ~scale) with
+          Gen.p_third_party = 0.3; p_vrouter = 0.3 } );
+    ( "unrouted_reuse",
+      "unrouted infrastructure (§5.4.3) + PA address reuse",
+      "no AS announces infrastructure; half the customers on PA space",
+      75.0, 84.0,
+      fun ~scale ->
+        { (base ~seed:109 ~name:"unrouted_reuse" ~scale) with
+          Gen.p_unrouted_infra = 1.0; p_pa_infra = 0.5 } );
+    ( "vrouter_maze",
+      "asymmetric reply selection (virtual routers everywhere)",
+      "every router replies as a virtual router with canonical UDP",
+      5.0, 79.0,
+      fun ~scale ->
+        { (base ~seed:110 ~name:"vrouter_maze" ~scale) with
+          Gen.p_vrouter = 1.0; p_udp_canonical = 1.0 } ) ]
+
+let all =
+  List.map
+    (fun (sc_name, sc_target, sc_detail, sc_link_floor, sc_router_floor, sc_params) ->
+      { sc_name; sc_target; sc_detail; sc_params; sc_link_floor; sc_router_floor })
+    scenarios
+
+let by_name name = List.find_opt (fun s -> String.equal s.sc_name name) all

@@ -1,0 +1,23 @@
+(** Adversarial scenario corpus: named worlds whose generator knobs are
+    pushed to extremes that target specific §4 pathologies and §5.4
+    heuristics, each carrying the link/router accuracy floor the
+    inference pipeline must hold on it. The bench harness runs every
+    scenario and [check_bench] fails the build below a floor, making
+    inference quality a gated invariant like performance. *)
+
+type scenario = {
+  sc_name : string;  (** unique registry key, e.g. ["stale_ixp"] *)
+  sc_target : string;  (** heuristic or subsystem under attack *)
+  sc_detail : string;  (** one-line description of the hostile twist *)
+  sc_params : scale:float -> Gen.params;
+      (** world parameters at a given topology scale *)
+  sc_link_floor : float;
+      (** minimum acceptable interdomain-link accuracy, percent *)
+  sc_router_floor : float;
+      (** minimum acceptable router-ownership accuracy, percent *)
+}
+
+(** Every named scenario, in fixed registry order. *)
+val all : scenario list
+
+val by_name : string -> scenario option

@@ -56,6 +56,9 @@ type params = {
   p_udp_canonical : float;
   p_vrouter : float;
   p_moas : float;
+  p_ixp_member : float;
+  p_sibling_hidden : float;
+  p_hijack : float;
   fault : fault_profile;
 }
 
@@ -91,6 +94,9 @@ let default_params =
     p_udp_canonical = 0.40;
     p_vrouter = 0.03;
     p_moas = 0.03;
+    p_ixp_member = 0.85;
+    p_sibling_hidden = 0.0;
+    p_hijack = 0.0;
     fault = zero_fault }
 
 type vp = { vp_name : string; vp_rid : int; vp_addr : Ipv4.t; vp_city : Geo.city }
@@ -100,6 +106,7 @@ type world = {
   net : Net.t;
   host_asn : Asn.t;
   siblings : Asn.Set.t;
+  published_siblings : Asn.Set.t;
   vps : vp list;
   rels_truth : B.As_rel.t;
   primary_exit : Asn.t Asn.Map.t;
@@ -357,7 +364,75 @@ let add_selective b origin prefix lid =
   let lids = Option.value ~default:[] (Prefix.Map.find_opt prefix per_prefix) in
   b.sel <- Asn.Map.add origin (Prefix.Map.add prefix (lid :: lids) per_prefix) b.sel
 
+(* Reject parameter records the construction below cannot survive: the
+   topology needs at least one Tier-1 and one host metro, counts must be
+   non-negative, and every probability knob must be a real number in
+   [0,1] (NaN silently disables Rng.bool draws, which would make a world
+   that looks valid but ignores its own knobs). Everything else — zero
+   VPs, zero customers, zero transits, pathology knobs at 1.0 — must
+   yield a valid if trivial world. *)
+let validate_params (p : params) =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let nonneg (name, v) =
+    if v < 0 then fail "Gen.generate: %s must be >= 0 (got %d)" name v
+  in
+  let prob (name, v) =
+    if not (Float.is_finite v) || v < 0.0 || v > 1.0 then
+      fail "Gen.generate: %s must be a probability in [0,1] (got %g)" name v
+  in
+  let finite_nonneg (name, v) =
+    if not (Float.is_finite v) || v < 0.0 then
+      fail "Gen.generate: %s must be finite and >= 0 (got %g)" name v
+  in
+  if p.n_tier1 < 1 then
+    fail "Gen.generate: n_tier1 must be >= 1 (got %d)" p.n_tier1;
+  if p.host_cities < 1 then
+    fail "Gen.generate: host_cities must be >= 1 (got %d)" p.host_cities;
+  List.iter nonneg
+    [ ("host_sibling_count", p.host_sibling_count);
+      ("n_transit", p.n_transit);
+      ("n_ixp", p.n_ixp);
+      ("host_ixp_count", p.host_ixp_count);
+      ("n_host_providers", p.n_host_providers);
+      ("n_host_peers", p.n_host_peers);
+      ("n_host_ixp_peers", p.n_host_ixp_peers);
+      ("n_host_customers", p.n_host_customers);
+      ("big_peer_links", p.big_peer_links);
+      ("n_cdn_peers", p.n_cdn_peers);
+      ("n_remote", p.n_remote);
+      ("n_vps", p.n_vps);
+      ("fault.f_dark_after", p.fault.f_dark_after);
+      ("fault.f_fail_links", p.fault.f_fail_links) ];
+  List.iter prob
+    [ ("p_cust_firewall", p.p_cust_firewall);
+      ("p_cust_silent", p.p_cust_silent);
+      ("p_cust_echo_only", p.p_cust_echo_only);
+      ("p_third_party", p.p_third_party);
+      ("p_unrouted_infra", p.p_unrouted_infra);
+      ("p_pa_infra", p.p_pa_infra);
+      ("p_multihomed_pair", p.p_multihomed_pair);
+      ("p_ipid_shared", p.p_ipid_shared);
+      ("p_ipid_periface", p.p_ipid_periface);
+      ("p_ipid_random", p.p_ipid_random);
+      ("p_udp_canonical", p.p_udp_canonical);
+      ("p_vrouter", p.p_vrouter);
+      ("p_moas", p.p_moas);
+      ("p_ixp_member", p.p_ixp_member);
+      ("p_sibling_hidden", p.p_sibling_hidden);
+      ("p_hijack", p.p_hijack);
+      ("fault.f_probe_loss", p.fault.f_probe_loss);
+      ("fault.f_reply_loss", p.fault.f_reply_loss);
+      ("fault.f_rl_share", p.fault.f_rl_share);
+      ("fault.f_dark_share", p.fault.f_dark_share) ];
+  List.iter finite_nonneg
+    [ ("avg_cust_links", p.avg_cust_links);
+      ("fault.f_rl_rate", p.fault.f_rl_rate);
+      ("fault.f_rl_burst", p.fault.f_rl_burst);
+      ("fault.f_fail_at", p.fault.f_fail_at);
+      ("fault.f_fail_for", p.fault.f_fail_for) ]
+
 let generate p =
+  validate_params p;
   let b =
     { p;
       rng = Rng.create p.seed;
@@ -566,7 +641,10 @@ let generate p =
     | None ->
       let r = new_border b node city ~third_party:false in
       let addr = Addressing.alloc_addr pool in
-      if Rng.bool b.rng ~p:0.85 then
+      (* Registry completeness knob: at the default 0.85 most members
+         register their LAN address; a corpus scenario can starve the
+         registry to stress §5.4.7 without changing the topology. *)
+      if Rng.bool b.rng ~p:p.p_ixp_member then
         b.registry <- B.Ixp.add_member b.registry addr node.Net.asn name;
       Hashtbl.replace lan_addr_of (node.Net.asn, name) (r, addr);
       (r, addr)
@@ -828,7 +906,9 @@ let generate p =
         (* Some customers multihome to a transit: enables third-party
            replies and BGP path diversity. *)
         let other_up =
-          if Rng.bool b.rng ~p:0.3 then Some (Rng.pick b.rng transits) else None
+          if transits <> [] && Rng.bool b.rng ~p:0.3 then
+            Some (Rng.pick b.rng transits)
+          else None
         in
         (match other_up with
         | Some (u : Net.as_node) ->
@@ -928,10 +1008,21 @@ let generate p =
         | [] -> ());
         node)
   in
-  ignore remotes;
   ignore other_peers;
   ignore ixp_peers;
   ignore customers;
+  (* Hijacked origins: unrelated remote ASes co-originating host
+     prefixes — the hostile cousin of the sibling MOAS above. The draws
+     sit after every default-path draw and are guarded, so worlds with
+     the knob at 0.0 (every preset) consume no randomness here. *)
+  if p.p_hijack > 0.0 && remotes <> [] then
+    List.iter
+      (fun pfx ->
+        if Rng.bool b.rng ~p:p.p_hijack then begin
+          let r = Rng.pick b.rng remotes in
+          b.moas_extra <- (pfx, r.Net.asn) :: b.moas_extra
+        end)
+      host.Net.prefixes;
 
   (* Homes for IXP LANs announced by a management AS. *)
   List.iter
@@ -944,7 +1035,7 @@ let generate p =
             ~prefix_lens:[]
         in
         node.Net.prefixes <- [ lan ];
-        let up = Rng.pick b.rng transits in
+        let up = Rng.pick b.rng (if transits = [] then tier1s else transits) in
         b.rels <- B.As_rel.add_c2p b.rels ~provider:up.Net.asn ~customer:asn;
         let rn = get_core b node city in
         let rt = new_border b up city ~third_party:false in
@@ -986,10 +1077,23 @@ let generate p =
     t1 @ tr
   in
 
+  (* The public siblings list (WHOIS-derived in the paper) can omit
+     org members; truth keeps the full set. Guarded: no draws when the
+     knob is 0.0, and the hosting AS itself is never hidden. *)
+  let published_siblings =
+    if p.p_sibling_hidden > 0.0 then
+      Asn.Set.filter
+        (fun a ->
+          Asn.equal a host_asn || not (Rng.bool b.rng ~p:p.p_sibling_hidden))
+        sibling_set
+    else sibling_set
+  in
+
   { params = p;
     net = b.net;
     host_asn;
     siblings = sibling_set;
+    published_siblings;
     vps;
     rels_truth = b.rels;
     primary_exit = b.primary;

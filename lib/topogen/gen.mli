@@ -64,10 +64,26 @@ type params = {
   p_udp_canonical : float;
   p_vrouter : float;
   p_moas : float;  (** chance a prefix is co-originated by a sibling *)
+  p_ixp_member : float;
+      (** chance an IXP port is registered in the public registry
+          (default 0.85; lower it for stale-registry scenarios) *)
+  p_sibling_hidden : float;
+      (** chance a sibling AS is missing from the published siblings
+          list while remaining a sibling in truth (default 0.0) *)
+  p_hijack : float;
+      (** chance a host prefix is co-originated by an unrelated remote
+          AS — a hijack/MOAS pathology (default 0.0) *)
   fault : fault_profile;  (** measurement-time impairments (default: none) *)
 }
 
 val default_params : params
+
+(** [validate_params p] raises [Invalid_argument] when [p] is outside
+    the generator's domain: [n_tier1 < 1], [host_cities < 1], a negative
+    count, or a probability knob that is not a real number in [0,1].
+    [generate] calls this first, so malformed parameters fail with a
+    typed error instead of crashing mid-construction. *)
+val validate_params : params -> unit
 
 type vp = { vp_name : string; vp_rid : int; vp_addr : Ipv4.t; vp_city : Geo.city }
 
@@ -76,6 +92,10 @@ type world = {
   net : Net.t;
   host_asn : Asn.t;
   siblings : Asn.Set.t;  (** the hosting org's ASes, including host *)
+  published_siblings : Asn.Set.t;
+      (** what the public siblings list claims — a subset of [siblings]
+          when [p_sibling_hidden > 0]; inference inputs use this while
+          validation keeps [siblings] as truth *)
   vps : vp list;
   rels_truth : Bgpdata.As_rel.t;  (** ground-truth relationships *)
   primary_exit : Asn.t Asn.Map.t;  (** per-AS default-route provider *)

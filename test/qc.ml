@@ -1,0 +1,34 @@
+(* Seed-replayable QCheck -> Alcotest adapter. The stock
+   [QCheck_alcotest.to_alcotest] self-initializes its generator state
+   and only mentions the seed in a verbose-mode line that Alcotest
+   swallows into its per-test log, so a failing property in CI is not
+   reproducible one command later. Every property in this suite goes
+   through this wrapper instead: one process-wide seed, taken from
+   QCHECK_SEED when set and drawn randomly otherwise, with the exact
+   replay recipe printed to stderr the moment a property fails. *)
+
+let seed =
+  lazy
+    (match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000)
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| Lazy.force seed |])
+      test
+  in
+  ( name,
+    speed,
+    fun x ->
+      try run x
+      with e ->
+        Printf.eprintf
+          "\nqcheck: property %S failed; replay with QCHECK_SEED=%d dune \
+           runtest --force\n\
+           %!"
+          name (Lazy.force seed);
+        raise e )

@@ -1,0 +1,90 @@
+(* Adversarial corpus registry invariants: unique names, sane floors,
+   in-domain parameters at every gated scale, and the lookup API. The
+   accuracy gating itself runs in the bench harness (check_bench) and
+   the @check-corpus golden fixture. *)
+
+module Gen = Topogen.Gen
+module Corpus = Topogen.Corpus
+
+let test_registry_shape () =
+  let names = List.map (fun s -> s.Corpus.sc_name) Corpus.all in
+  Alcotest.(check bool) "at least 8 scenarios" true (List.length names >= 8);
+  Alcotest.(check int) "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun s ->
+      let ok f = f > 0.0 && f <= 100.0 in
+      Alcotest.(check bool)
+        (s.Corpus.sc_name ^ " link floor in (0,100]")
+        true (ok s.Corpus.sc_link_floor);
+      Alcotest.(check bool)
+        (s.Corpus.sc_name ^ " router floor in (0,100]")
+        true (ok s.Corpus.sc_router_floor);
+      Alcotest.(check bool)
+        (s.Corpus.sc_name ^ " has a target")
+        true
+        (String.length s.Corpus.sc_target > 0))
+    Corpus.all
+
+let test_params_in_domain () =
+  (* Every scenario's parameters must pass generator validation at the
+     scales the gates run (bench 0.1, @check-corpus 0.15, CLI default
+     0.3), and keep at least one VP for the single-VP experiment. *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun scale ->
+          let p = s.Corpus.sc_params ~scale in
+          Gen.validate_params p;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%g has a VP" s.Corpus.sc_name scale)
+            true (p.Gen.n_vps >= 1);
+          Alcotest.(check string)
+            (Printf.sprintf "%s@%g params named after scenario"
+               s.Corpus.sc_name scale)
+            s.Corpus.sc_name p.Gen.name)
+        [ 0.1; 0.15; 0.3 ])
+    Corpus.all
+
+let test_seeds_distinct () =
+  let seeds =
+    List.map (fun s -> (s.Corpus.sc_params ~scale:0.15).Gen.seed) Corpus.all
+  in
+  Alcotest.(check int) "world seeds pairwise distinct" (List.length seeds)
+    (List.length (List.sort_uniq compare seeds))
+
+let test_by_name () =
+  List.iter
+    (fun s ->
+      match Corpus.by_name s.Corpus.sc_name with
+      | Some s' ->
+        Alcotest.(check string) "by_name finds itself" s.Corpus.sc_name
+          s'.Corpus.sc_name
+      | None -> Alcotest.failf "by_name missed %s" s.Corpus.sc_name)
+    Corpus.all;
+  Alcotest.(check bool) "unknown name is None" true
+    (Corpus.by_name "no_such_scenario" = None)
+
+let test_hostile_world_generates () =
+  (* One representative hostile world end to end: the stale-IXP world
+     must actually starve the registry relative to the same world with
+     the knob at its default. *)
+  let sc = Option.get (Corpus.by_name "stale_ixp") in
+  let p = sc.Corpus.sc_params ~scale:0.1 in
+  let w = Gen.generate p in
+  let w_fresh = Gen.generate { p with Gen.p_ixp_member = 0.85 } in
+  let members w =
+    List.length (Bgpdata.Ixp.members w.Gen.ixp_registry)
+  in
+  Alcotest.(check bool) "stale registry has fewer members" true
+    (members w < members w_fresh)
+
+let suite =
+  [ Alcotest.test_case "registry shape" `Quick test_registry_shape;
+    Alcotest.test_case "params in domain at gated scales" `Quick
+      test_params_in_domain;
+    Alcotest.test_case "world seeds distinct" `Quick test_seeds_distinct;
+    Alcotest.test_case "by_name" `Quick test_by_name;
+    Alcotest.test_case "stale_ixp starves the registry" `Quick
+      test_hostile_world_generates ]

@@ -177,9 +177,62 @@ let test_failure_window () =
   Alcotest.(check (option int)) "up after recovery" None
     (Fault.first_failed_step st ~now:25.0 steps)
 
+(* --- nonzero configs under the pool: extends the zero-config identity
+   test to a corpus world with dark-router quotas AND transient link
+   failure windows live. Per-router quota subsets and failure schedules
+   are pure functions of (seed, rid), so per-VP engines built on worker
+   domains must replay the exact serial drop sequence. --- *)
+
+let test_nonzero_fault_pool_identity () =
+  let sc = Option.get (Topogen.Corpus.by_name "silent_dark") in
+  let p = sc.Topogen.Corpus.sc_params ~scale:0.1 in
+  let fault =
+    { Gen.zero_fault with
+      Gen.f_dark_share = 0.3;
+      f_dark_after = 40;
+      f_fail_links = 3;
+      f_fail_at = 10.0;
+      f_fail_for = 60.0 }
+  in
+  let w = Gen.generate { p with Gen.fault } in
+  let _bgp, fwd, _engine, inputs = Bdrmap.Pipeline.setup w in
+  Alcotest.(check bool) "engines see a nonzero fault config" false
+    (Fault.is_zero (Engine.fault_config (Engine.create w fwd)));
+  let lines rs =
+    List.concat_map
+      (fun (r : Bdrmap.Pipeline.run) ->
+        Bdrmap.Output.links_to_lines r.Bdrmap.Pipeline.graph
+          r.Bdrmap.Pipeline.inference)
+      rs
+  in
+  let probes rs =
+    List.fold_left
+      (fun acc (r : Bdrmap.Pipeline.run) -> acc + r.Bdrmap.Pipeline.probes)
+      0 rs
+  in
+  let serial = Bdrmap.Pipeline.execute_all w inputs ~vps:w.Gen.vps in
+  let pooled =
+    Netcore.Pool.with_pool ~domains:4 (fun pool ->
+        Bdrmap.Pipeline.execute_all ~pool w inputs ~vps:w.Gen.vps)
+  in
+  Alcotest.(check (list string)) "impaired border maps byte-identical"
+    (lines serial) (lines pooled);
+  Alcotest.(check int) "impaired probe counts identical" (probes serial)
+    (probes pooled);
+  (* The impairments genuinely engaged: the same world with a zero
+     profile probes differently (quota routers go dark mid-collection,
+     failed links eat probes into the retry ladder). *)
+  let w0 = Gen.generate p in
+  let _bgp, _fwd, _engine, inputs0 = Bdrmap.Pipeline.setup w0 in
+  let clean = Bdrmap.Pipeline.execute_all w0 inputs0 ~vps:w0.Gen.vps in
+  Alcotest.(check bool) "fault layer changed the collection" true
+    (probes clean <> probes serial || lines clean <> lines serial)
+
 let suite =
-  [ QCheck_alcotest.to_alcotest prop_bucket_rate_bound;
-    QCheck_alcotest.to_alcotest prop_same_seed_same_drops;
+  [ Qc.to_alcotest prop_bucket_rate_bound;
+    Qc.to_alcotest prop_same_seed_same_drops;
+    Alcotest.test_case "nonzero fault config identical under pool" `Quick
+      test_nonzero_fault_pool_identity;
     Alcotest.test_case "zero config strict no-op" `Quick test_zero_config_noop;
     Alcotest.test_case "zero profile of world" `Quick test_zero_profile_of_world;
     Alcotest.test_case "dark quota" `Quick test_dark_quota_goes_dark;

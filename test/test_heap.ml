@@ -102,6 +102,6 @@ let suite =
     Alcotest.test_case "push/pop order" `Quick test_push_pop_order;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
-    QCheck_alcotest.to_alcotest prop_heapsort;
-    QCheck_alcotest.to_alcotest prop_total_order_ties;
-    QCheck_alcotest.to_alcotest prop_lazy_deletion ]
+    Qc.to_alcotest prop_heapsort;
+    Qc.to_alcotest prop_total_order_ties;
+    Qc.to_alcotest prop_lazy_deletion ]

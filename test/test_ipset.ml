@@ -104,6 +104,6 @@ let suite =
     Alcotest.test_case "membership" `Quick test_mem;
     Alcotest.test_case "remove middle" `Quick test_remove_middle;
     Alcotest.test_case "set operations" `Quick test_setops;
-    QCheck_alcotest.to_alcotest prop_prefixes_cover_exactly;
-    QCheck_alcotest.to_alcotest prop_prefix_cardinal;
-    QCheck_alcotest.to_alcotest prop_disjoint_sorted ]
+    Qc.to_alcotest prop_prefixes_cover_exactly;
+    Qc.to_alcotest prop_prefix_cardinal;
+    Qc.to_alcotest prop_disjoint_sorted ]

@@ -73,5 +73,5 @@ let suite =
     Alcotest.test_case "arithmetic" `Quick test_arith;
     Alcotest.test_case "bit extraction" `Quick test_bits;
     Alcotest.test_case "address classes" `Quick test_classes;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
-    QCheck_alcotest.to_alcotest prop_succ_pred ]
+    Qc.to_alcotest prop_roundtrip;
+    Qc.to_alcotest prop_succ_pred ]

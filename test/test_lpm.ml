@@ -149,7 +149,7 @@ let suite =
     Alcotest.test_case "slot boundary cases" `Quick test_slot_boundaries;
     Alcotest.test_case "lookup_idx allocates nothing" `Quick
       test_lookup_idx_zero_alloc;
-    QCheck_alcotest.to_alcotest prop_vs_naive;
-    QCheck_alcotest.to_alcotest prop_vs_ptrie;
-    QCheck_alcotest.to_alcotest prop_find_exact;
-    QCheck_alcotest.to_alcotest prop_lookup_idx ]
+    Qc.to_alcotest prop_vs_naive;
+    Qc.to_alcotest prop_vs_ptrie;
+    Qc.to_alcotest prop_find_exact;
+    Qc.to_alcotest prop_lookup_idx ]

@@ -221,8 +221,8 @@ let suite =
   [ Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
     Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
     Alcotest.test_case "strict wire parsing" `Quick test_strict_parsing;
-    QCheck_alcotest.to_alcotest prop_request_roundtrip;
-    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    Qc.to_alcotest prop_request_roundtrip;
+    Qc.to_alcotest prop_response_roundtrip;
     Alcotest.test_case "offloaded collection equivalent" `Quick
       test_offloaded_collection_equivalent;
     Alcotest.test_case "serve error path" `Quick test_serve_error_path ]

@@ -111,6 +111,6 @@ let suite =
     Alcotest.test_case "split" `Quick test_split;
     Alcotest.test_case "of_first_last" `Quick test_of_first_last;
     Alcotest.test_case "subnet mate" `Quick test_subnet_mate;
-    QCheck_alcotest.to_alcotest prop_roundtrip;
-    QCheck_alcotest.to_alcotest prop_mem_bounds;
-    QCheck_alcotest.to_alcotest prop_split_partition ]
+    Qc.to_alcotest prop_roundtrip;
+    Qc.to_alcotest prop_mem_bounds;
+    Qc.to_alcotest prop_split_partition ]

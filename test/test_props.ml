@@ -164,9 +164,9 @@ let prop_rib_lpm =
       | _ -> false)
 
 let suite =
-  [ QCheck_alcotest.to_alcotest prop_vetoes_never_merged;
-    QCheck_alcotest.to_alcotest prop_groups_partition;
-    QCheck_alcotest.to_alcotest prop_same_router_symmetric;
-    QCheck_alcotest.to_alcotest prop_as_rel_roundtrip;
-    QCheck_alcotest.to_alcotest prop_trace_pairs;
-    QCheck_alcotest.to_alcotest prop_rib_lpm ]
+  [ Qc.to_alcotest prop_vetoes_never_merged;
+    Qc.to_alcotest prop_groups_partition;
+    Qc.to_alcotest prop_same_router_symmetric;
+    Qc.to_alcotest prop_as_rel_roundtrip;
+    Qc.to_alcotest prop_trace_pairs;
+    Qc.to_alcotest prop_rib_lpm ]

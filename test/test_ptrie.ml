@@ -109,5 +109,5 @@ let suite =
     Alcotest.test_case "replace" `Quick test_replace;
     Alcotest.test_case "subtree" `Quick test_subtree;
     Alcotest.test_case "bindings roundtrip" `Quick test_bindings_roundtrip;
-    QCheck_alcotest.to_alcotest prop_lpm_agrees_with_scan;
-    QCheck_alcotest.to_alcotest prop_add_then_find ]
+    Qc.to_alcotest prop_lpm_agrees_with_scan;
+    Qc.to_alcotest prop_add_then_find ]

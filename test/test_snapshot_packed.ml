@@ -148,7 +148,7 @@ let test_bad_magic_and_version () =
   expect_error "future version" wrong_version "unsupported version 99"
 
 let suite =
-  [ QCheck_alcotest.to_alcotest prop_packed_equals_boxed;
+  [ Qc.to_alcotest prop_packed_equals_boxed;
     Alcotest.test_case "to_bytes/of_bytes round-trip" `Quick test_roundtrip;
     Alcotest.test_case "corrupted byte rejected" `Quick test_corrupted_byte_rejected;
     Alcotest.test_case "truncation rejected" `Quick test_truncation_rejected;
