@@ -2,126 +2,18 @@
    runtest alias: the snapshot must have been built at most once per
    multi-VP sweep (a per-worker rebuild would show builds exceeding the
    sweep count), every computed VP must have attached to a shared
-   snapshot, the schema-7 GC fields must be present, the packed
-   scale-3 snapshot rows must show a warm query sweep that stays inside
-   a near-zero GC major-words budget — the regression gate for the
-   route arenas staying GC-invisible — and every adversarial corpus
-   scenario must hold its recorded accuracy floor, the regression gate
-   for inference *quality*. Plain string scanning — the
-   emitter writes one object per line, and pulling in a JSON parser for
-   a handful of assertions is not worth a dependency. *)
+   snapshot, the per-stage and per-experiment GC columns must be
+   present, the packed scale-3 snapshot rows must show a warm query
+   sweep that stays inside a near-zero GC major-words budget — the
+   regression gate for the route arenas staying GC-invisible — and
+   every adversarial corpus scenario must hold its recorded accuracy
+   floor, the regression gate for inference *quality*. The artifact is
+   read through the obs read side (Obs.Run_diff flattens it into named
+   series), so these gates and `bdrmap obs diff` agree on what a series
+   is called and what it contains. *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
-
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = if i + m > n then false else String.sub s i m = sub || go (i + 1) in
-  m = 0 || go 0
-
-let find_marker json marker =
-  let n = String.length json and m = String.length marker in
-  let rec find i =
-    if i + m > n then None
-    else if String.sub json i m = marker then Some (i + m)
-    else find (i + 1)
-  in
-  find 0
-
-let int_at json i =
-  let n = String.length json in
-  let j = ref i in
-  while !j < n && json.[!j] >= '0' && json.[!j] <= '9' do incr j done;
-  int_of_string (String.sub json i (!j - i))
-
-(* The metrics block emits counters as
-   {"name": "<name>", "total": <n>}; absent counter = 0. *)
-let counter json name =
-  match find_marker json (Printf.sprintf "{\"name\": \"%s\", \"total\": " name) with
-  | None -> 0
-  | Some i -> int_at json i
-
-(* Experiments rows are one object per line; numeric GC fields are
-   emitted as %.0f, so an integer prefix scan reads them exactly. *)
-let row_field json ~row ~field =
-  match find_marker json (Printf.sprintf "{\"name\": \"%s\", " row) with
-  | None -> None
-  | Some i -> (
-    let line_end =
-      match String.index_from_opt json i '\n' with
-      | Some e -> e
-      | None -> String.length json
-    in
-    let line = String.sub json i (line_end - i) in
-    match find_marker line (Printf.sprintf "\"%s\": " field) with
-    | None -> None
-    | Some j -> Some (int_at line j))
-
-(* Floats are emitted as %.2f; scan sign, digits and one dot. *)
-let float_at json i =
-  let n = String.length json in
-  let j = ref i in
-  if !j < n && (json.[!j] = '-' || json.[!j] = '+') then incr j;
-  while
-    !j < n && ((json.[!j] >= '0' && json.[!j] <= '9') || json.[!j] = '.')
-  do
-    incr j
-  done;
-  float_of_string (String.sub json i (!j - i))
-
-(* Corpus rows are one object per line:
-   {"scenario": "<name>", "links_pct": ..., "links_floor": ..., ...}. *)
-let corpus_row_float line ~field =
-  match find_marker line (Printf.sprintf "\"%s\": " field) with
-  | None -> fail "corpus row %S lacks field %S" line field
-  | Some j -> float_at line j
-
-let check_corpus json =
-  let rec rows i acc =
-    match find_marker (String.sub json i (String.length json - i)) "{\"scenario\": \"" with
-    | None -> acc
-    | Some off ->
-      let start = i + off in
-      let line_end =
-        match String.index_from_opt json start '\n' with
-        | Some e -> e
-        | None -> String.length json
-      in
-      rows line_end (String.sub json (start - 14) (line_end - start + 14) :: acc)
-  in
-  let rows = List.rev (rows 0 []) in
-  if List.length rows < 8 then
-    fail "only %d corpus scenario rows (expected the full registry, >= 8)"
-      (List.length rows);
-  List.iter
-    (fun line ->
-      let name =
-        match find_marker line "{\"scenario\": \"" with
-        | None -> fail "malformed corpus row %S" line
-        | Some j -> (
-          match String.index_from_opt line j '"' with
-          | None -> fail "malformed corpus row %S" line
-          | Some e -> String.sub line j (e - j))
-      in
-      let links = corpus_row_float line ~field:"links_pct" in
-      let links_floor = corpus_row_float line ~field:"links_floor" in
-      let routers = corpus_row_float line ~field:"routers_pct" in
-      let routers_floor = corpus_row_float line ~field:"routers_floor" in
-      if links < links_floor then
-        fail
-          "corpus scenario %S: link accuracy %.2f%% fell below its floor %.2f%%"
-          name links links_floor;
-      if routers < routers_floor then
-        fail
-          "corpus scenario %S: router accuracy %.2f%% fell below its floor %.2f%%"
-          name routers routers_floor)
-    rows;
-  List.length rows
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
 
 (* Budget for GC major-heap allocation during the warm packed-snapshot
    query sweep: the sweep reads only Bigarray words through the
@@ -130,22 +22,70 @@ let check_corpus json =
    representation regressed to heap-visible storage. *)
 let warm_sweep_major_budget = 50_000
 
+let has_suffix suffix name =
+  let n = String.length name and m = String.length suffix in
+  n >= m && String.sub name (n - m) m = suffix
+
+let has_prefix prefix name =
+  let n = String.length name and m = String.length prefix in
+  n >= m && String.sub name 0 m = prefix
+
 let () =
   let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH.json" in
-  let json = read_file path in
-  if not (contains ~sub:"\"schema\": \"bdrmap-bench/7\"" json) then
-    fail "schema is not bdrmap-bench/7";
+  let run =
+    match Obs.Run_diff.of_file path with
+    | Ok r -> r
+    | Error e -> fail "%s" e
+  in
+  if run.Obs.Run_diff.kind <> Obs.Run_diff.Bench then
+    fail "%s parsed, but not as a BENCH.json" path;
+  if run.Obs.Run_diff.schema <> "bdrmap-bench/8" then
+    fail "schema is %S, not bdrmap-bench/8" run.Obs.Run_diff.schema;
+  let series = run.Obs.Run_diff.series in
+  let get name = List.assoc_opt name series in
+  let geti name = Option.map (fun f -> int_of_float f) (get name) in
+  let counter name = Option.value ~default:0 (geti ("metric." ^ name ^ ".total")) in
+  (* A run must diff clean against itself: if the flattening ever
+     produces duplicate or unstable series, every downstream
+     `obs diff` verdict is suspect. *)
+  (match Obs.Run_diff.regressions (Obs.Run_diff.diff run run) with
+  | [] -> ()
+  | f :: _ ->
+    fail "self-diff is not clean (series %S): flattening is unstable"
+      f.Obs.Run_diff.f_name);
+  (* Experiment rows carry the GC counter columns. *)
   List.iter
     (fun field ->
-      if not (contains ~sub:(Printf.sprintf "\"%s\":" field) json) then
-        fail "experiments rows are missing the GC counter field %S" field)
+      if
+        not
+          (List.exists
+             (fun (n, _) -> has_prefix "experiment." n && has_suffix ("." ^ field) n)
+             series)
+      then fail "experiment rows are missing the GC counter field %S" field)
     [ "gc_minor_words"; "gc_major_words"; "gc_heap_words"; "gc_compactions" ];
-  if not (contains ~sub:"\"stage\": \"freeze\"" json) then
+  (* Stage rows carry the new per-stage allocation columns, and the
+     freeze stage was traced at all. *)
+  if get "stage.freeze.count" = None then
     fail "no \"freeze\" stage row: snapshot freeze was never traced";
-  (match row_field json ~row:"snapshot3-freeze" ~field:"gc_heap_words" with
-  | None -> fail "no \"snapshot3-freeze\" row: the scale-3 packed freeze never ran"
-  | Some _ -> ());
-  (match row_field json ~row:"snapshot3-query-sweep-warm" ~field:"gc_major_words" with
+  List.iter
+    (fun field ->
+      if get ("stage.freeze." ^ field) = None then
+        fail "stage rows are missing the per-stage allocation column %S" field)
+    [ "gc_minor_words"; "gc_major_words"; "gc_compactions" ];
+  (* Histogram metric rows must carry their derived percentiles. *)
+  List.iter
+    (fun (name, count) ->
+      if count > 0.0 then
+        let base = String.sub name 0 (String.length name - String.length ".count") in
+        if get (base ^ ".p50") = None then
+          fail "histogram series %S has %g observations but no p50 column" name count)
+    (List.filter
+       (fun (n, _) -> has_prefix "metric." n && has_suffix ".count" n)
+       series);
+  (* The packed scale-3 snapshot gates. *)
+  if get "experiment.snapshot3-freeze.gc_heap_words" = None then
+    fail "no \"snapshot3-freeze\" row: the scale-3 packed freeze never ran";
+  (match geti "experiment.snapshot3-query-sweep-warm.gc_major_words" with
   | None ->
     fail "no \"snapshot3-query-sweep-warm\" row: the packed query sweep never ran"
   | Some major ->
@@ -154,11 +94,11 @@ let () =
         "warm packed query sweep allocated %d GC major words (budget %d): the \
          route arena is no longer GC-invisible"
         major warm_sweep_major_budget);
-  let builds = counter json "routing.snapshot.builds" in
-  let attaches = counter json "routing.snapshot.attaches" in
-  let sweeps = counter json "pipeline.sweeps" in
-  let crossing = counter json "pipeline.crossing_sweeps" in
-  let vp_computes = counter json "pipeline.vp_computes" in
+  let builds = counter "routing.snapshot.builds" in
+  let attaches = counter "routing.snapshot.attaches" in
+  let sweeps = counter "pipeline.sweeps" in
+  let crossing = counter "pipeline.crossing_sweeps" in
+  let vp_computes = counter "pipeline.vp_computes" in
   if builds < 1 then fail "snapshot was never built (routing.snapshot.builds = 0)";
   (* The two standalone freezes (snapshot-freeze, snapshot3-freeze) are
      deliberate builds outside any sweep. *)
@@ -168,11 +108,38 @@ let () =
        crossing sweeps (+2 standalone freezes)"
       builds sweeps crossing;
   if vp_computes > 0 && attaches < vp_computes then
-    fail "%d computed VPs but only %d snapshot attaches — a worker bypassed the shared snapshot"
+    fail
+      "%d computed VPs but only %d snapshot attaches — a worker bypassed the \
+       shared snapshot"
       vp_computes attaches;
-  let corpus_rows = check_corpus json in
+  (* Corpus accuracy floors, enumerated from the flattened series. *)
+  let scenarios =
+    List.filter_map
+      (fun (n, _) ->
+        if has_prefix "corpus." n && has_suffix ".links_pct" n then
+          Some (String.sub n 7 (String.length n - 7 - String.length ".links_pct"))
+        else None)
+      series
+  in
+  if List.length scenarios < 8 then
+    fail "only %d corpus scenario rows (expected the full registry, >= 8)"
+      (List.length scenarios);
+  List.iter
+    (fun s ->
+      let f field =
+        match get (Printf.sprintf "corpus.%s.%s" s field) with
+        | Some v -> v
+        | None -> fail "corpus scenario %S lacks field %S" s field
+      in
+      if f "links_pct" < f "links_floor" then
+        fail "corpus scenario %S: link accuracy %.2f%% fell below its floor %.2f%%"
+          s (f "links_pct") (f "links_floor");
+      if f "routers_pct" < f "routers_floor" then
+        fail "corpus scenario %S: router accuracy %.2f%% fell below its floor %.2f%%"
+          s (f "routers_pct") (f "routers_floor"))
+    scenarios;
   Printf.printf
     "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes, warm \
      sweep within %d major-word budget, %d corpus scenarios above their floors)\n"
     builds (sweeps + crossing) attaches vp_computes warm_sweep_major_budget
-    corpus_rows
+    (List.length scenarios)

@@ -159,7 +159,7 @@ let store_comparison pool =
   let store = Store.open_dir dir in
   Fun.protect
     ~finally:(fun () ->
-      ignore (Store.gc ~all:true store);
+      ignore (Store.gc ~all:true store : Store.gc_stats);
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () ->
       timed "fig16-cold-store" (fun () ->
@@ -431,10 +431,14 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !corpus_rows))
   in
   let stages_block =
-    let row (stage, count, wall_s, sim_s) =
+    let row (st : Obs.Manifest.stage) =
       Printf.sprintf
-        "    {\"stage\": \"%s\", \"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f}"
-        (json_escape stage) count wall_s sim_s
+        "    {\"stage\": \"%s\", \"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f, \
+         \"gc_minor_words\": %d, \"gc_major_words\": %d, \"gc_compactions\": %d}"
+        (json_escape st.Obs.Manifest.st_name) st.Obs.Manifest.st_count
+        st.Obs.Manifest.st_wall_s st.Obs.Manifest.st_sim_s
+        st.Obs.Manifest.st_minor_words st.Obs.Manifest.st_major_words
+        st.Obs.Manifest.st_compactions
     in
     Printf.sprintf "  \"stages\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row (Obs.Manifest.stages !obs_snapshot)))
@@ -447,14 +451,23 @@ let write_bench_json path =
       | Obs.Metrics.Gauge g ->
         Printf.sprintf "    {\"name\": \"%s\", \"max\": %g}" (json_escape name) g
       | Obs.Metrics.Histogram h ->
-        Printf.sprintf "    {\"name\": \"%s\", \"count\": %d, \"sum\": %g}"
-          (json_escape name) h.Obs.Metrics.h_count h.Obs.Metrics.h_sum
+        (* Derived percentiles ride along so run-diff tooling can gate
+           on tail latency without re-deriving bucket math. *)
+        let q =
+          match Obs.Summary.of_hist h with
+          | None -> ""
+          | Some q ->
+            Printf.sprintf ", \"p50\": %g, \"p90\": %g, \"p99\": %g"
+              q.Obs.Summary.p50 q.Obs.Summary.p90 q.Obs.Summary.p99
+        in
+        Printf.sprintf "    {\"name\": \"%s\", \"count\": %d, \"sum\": %g%s}"
+          (json_escape name) h.Obs.Metrics.h_count h.Obs.Metrics.h_sum q
     in
     Printf.sprintf "  \"metrics\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/7\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    "{\n  \"schema\": \"bdrmap-bench/8\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
     scale jobs experiments_block robustness_block corpus_block stages_block
     metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));

@@ -568,10 +568,15 @@ let store_ls dir =
     es;
   Printf.printf "%d entries in %s\n" (List.length es) (Store.dir st)
 
-let store_gc all dir =
-  let st = Store.open_dir dir in
-  let removed, kept = Store.gc ~all st in
-  Printf.printf "%s: removed %d, kept %d\n" (Store.dir st) removed kept
+let store_gc all dir obs =
+  let config = Printf.sprintf "command=store-gc\ndir=%s\nall=%b" dir all in
+  with_obs obs ~command:"store gc" ~scale:1.0 ~jobs:1 ~config (fun () ->
+      let st = Store.open_dir dir in
+      let stats = Store.gc ~all st in
+      Obs.Metrics.add "store.gc.entries_freed" stats.Store.gc_removed;
+      Obs.Metrics.add "store.gc.bytes_freed" stats.Store.gc_bytes_freed;
+      Printf.printf "%s: removed %d (%d bytes), kept %d\n" (Store.dir st)
+        stats.Store.gc_removed stats.Store.gc_bytes_freed stats.Store.gc_kept)
 
 let store_cmd =
   let ls =
@@ -590,16 +595,148 @@ let store_cmd =
          ~doc:
            "Remove invalid entries (truncated, corrupt, stale, foreign \
             version) and orphaned temp files.")
-      Term.(const store_gc $ all $ store_dir_req)
+      Term.(const store_gc $ all $ store_dir_req $ obs_term)
   in
   Cmd.group
     (Cmd.info "store" ~doc:"Inspect and prune a persistent run store.")
     [ ls; gc ]
 
+(* obs report / diff / export: the read side of observability. These
+   consume artifacts a previous run wrote (trace JSONL, manifest.json,
+   BENCH.json) and never touch the pipeline, so they take plain file
+   positionals rather than obs_term. *)
+
+let obs_report canonical path =
+  match Obs.Trace_reader.of_file path with
+  | Error e ->
+    Printf.eprintf "obs report: %s: %s\n" path (Obs.Trace_reader.error_to_string e);
+    exit 1
+  | Ok t ->
+    List.iter print_endline
+      (Obs.Trace_reader.report_lines ~volatile:(not canonical)
+         (Obs.Trace_reader.summarize t))
+
+let obs_diff wall_ratio rel a b =
+  let load path =
+    match Obs.Run_diff.of_file path with
+    | Ok run -> run
+    | Error msg ->
+      Printf.eprintf "obs diff: %s: %s\n" path msg;
+      exit 1
+  in
+  let ra = load a and rb = load b in
+  if ra.Obs.Run_diff.kind <> rb.Obs.Run_diff.kind then begin
+    Printf.eprintf "obs diff: cannot compare %s (%s) against %s (%s)\n" a
+      (Obs.Run_diff.kind_label ra.Obs.Run_diff.kind)
+      b
+      (Obs.Run_diff.kind_label rb.Obs.Run_diff.kind);
+    exit 1
+  end;
+  let findings = Obs.Run_diff.diff ~wall_ratio ~rel ra rb in
+  List.iter
+    (fun f -> print_endline (Obs.Run_diff.finding_to_string f))
+    findings;
+  let failing = List.filter Obs.Run_diff.failing findings in
+  if failing <> [] then begin
+    Printf.printf "FAIL: %d of %d compared series regressed\n"
+      (List.length failing)
+      (List.length ra.Obs.Run_diff.series);
+    exit 1
+  end
+  else
+    Printf.printf "ok: %d series compared, no regressions\n"
+      (List.length ra.Obs.Run_diff.series)
+
+let obs_export path =
+  match Obs.Openmetrics.of_file path with
+  | Ok text -> print_string text
+  | Error msg ->
+    Printf.eprintf "obs export: %s: %s\n" path msg;
+    exit 1
+
+let obs_cmd =
+  let trace_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL trace written by --trace.")
+  in
+  let canonical =
+    Arg.(
+      value & flag
+      & info [ "canonical" ]
+          ~doc:
+            "Omit the wall-clock and GC columns, leaving only \
+             deterministic output (for golden fixtures).")
+  in
+  let report =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Summarize a trace: per-VP / per-stage span tree with wall, \
+            simulated-clock and allocation columns, heuristic fire counts \
+            and event totals.")
+      Term.(const obs_report $ canonical $ trace_pos)
+  in
+  let diff =
+    let file_a =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"BASELINE" ~doc:"Baseline manifest.json or BENCH.json.")
+    in
+    let file_b =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"CANDIDATE" ~doc:"Candidate manifest.json or BENCH.json.")
+    in
+    let wall_ratio =
+      Arg.(
+        value
+        & opt float 1.5
+        & info [ "wall-ratio" ] ~docv:"R"
+            ~doc:
+              "Fail a wall-clock / GC series only when the candidate \
+               exceeds the baseline by this multiplier (plus a noise floor).")
+    in
+    let rel =
+      Arg.(
+        value
+        & opt float 0.0
+        & info [ "rel" ] ~docv:"R"
+            ~doc:
+              "Relative tolerance for deterministic series (default 0: \
+               exact match required).")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two manifests or two BENCH.json files; exit nonzero \
+            and name the offending series on any regression.")
+      Term.(const obs_diff $ wall_ratio $ rel $ file_a $ file_b)
+  in
+  let export =
+    let manifest_pos =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"MANIFEST" ~doc:"manifest.json written by a run.")
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:"Render a manifest as OpenMetrics/Prometheus text exposition.")
+      Term.(const obs_export $ manifest_pos)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Analyze observability artifacts from previous runs.")
+    [ report; diff; export ]
+
 let main =
   Cmd.group
     (Cmd.info "bdrmap_cli" ~version:"1.0.0"
        ~doc:"bdrmap: inference of borders between IP networks (IMC 2016) on a simulated Internet.")
-    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd; store_cmd ]
+    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd; store_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,257 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+type error = { pos : int; reason : string }
+
+let error_to_string e = Printf.sprintf "json error at offset %d: %s" e.pos e.reason
+
+exception Fail of error
+
+let fail pos reason = raise (Fail { pos; reason })
+
+(* Recursive-descent parser over the raw string. Field order inside
+   objects is preserved, and numbers without a fraction or exponent stay
+   [Int] so integer-valued fields round-trip digit-for-digit. *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail !pos (Printf.sprintf "expected %c, found %c" c c')
+    | None -> fail !pos (Printf.sprintf "expected %c, found end of input" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail !pos "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail !pos "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'u' ->
+               if !pos + 4 >= n then fail !pos "truncated \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | None -> fail !pos ("bad \\u escape " ^ hex)
+               | Some code ->
+                 (* The emitters only escape control bytes, so codes
+                    beyond one byte are stored UTF-8-style via the
+                    2-byte encoding; that covers re-reading our own
+                    output, which never goes past U+00FF. *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end;
+                 pos := !pos + 5)
+             | c -> fail !pos (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_digit () =
+      match peek () with Some ('0' .. '9') -> true | _ -> false
+    in
+    if not (is_digit ()) then fail !pos "expected a digit";
+    while is_digit () do advance () done;
+    let fractional = ref false in
+    if peek () = Some '.' then begin
+      fractional := true;
+      advance ();
+      if not (is_digit ()) then fail !pos "expected a digit after '.'";
+      while is_digit () do advance () done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      fractional := true;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      if not (is_digit ()) then fail !pos "expected a digit in exponent";
+      while is_digit () do advance () done
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !fractional then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail start ("bad number " ^ text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+        (* Out of int range: keep it as a float rather than failing. *)
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail start ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail !pos "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          fields := (key, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ()
+          | Some '}' -> advance ()
+          | _ -> fail !pos "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements ()
+          | Some ']' -> advance ()
+          | _ -> fail !pos "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail !pos (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < n then fail !pos "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Compact rendering matching the emitters' conventions: floats via %g,
+   ints verbatim, strings escaped like [Span]/[Manifest] escape them. *)
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    add_escaped buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        add_escaped buf k;
+        Buffer.add_string buf "\":";
+        add buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  add buf v;
+  Buffer.contents buf
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_obj = function Obj fields -> Some fields | _ -> None

@@ -1,0 +1,46 @@
+(** Minimal dependency-free JSON for the observability read side.
+
+    Parses everything the obs emitters write — trace lines from
+    {!Span}, [manifest.json] from {!Manifest}, [BENCH.json] from the
+    bench harness — into a plain value tree, and renders values back in
+    the emitters' own compact conventions ([%g] floats, integers
+    verbatim, field order preserved), so a parse/re-render round trip
+    of our own output is byte-identical.
+
+    This is deliberately not a general JSON library: numbers outside
+    the int range degrade to floats, and [\u] escapes beyond U+00FF are
+    stored via a two-byte encoding (our emitters never produce them).
+    Parsing never raises; malformed input yields a typed {!error}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** field order preserved *)
+
+type error = { pos : int; reason : string }
+
+val error_to_string : error -> string
+
+(** [parse s] parses exactly one JSON value spanning all of [s]
+    (leading/trailing whitespace allowed, trailing garbage is an
+    error). *)
+val parse : string -> (t, error) result
+
+(** Compact single-line rendering; [Obj] fields keep their order. *)
+val to_string : t -> string
+
+(** {1 Accessors} — total, [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+
+(** [Int] and [Float] both convert. *)
+val to_float : t -> float option
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

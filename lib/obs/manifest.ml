@@ -12,38 +12,67 @@ let escape s =
     s;
   Buffer.contents buf
 
-(* stage.<name>.count / .wall_ns / .sim_us counter triples, grouped. *)
+(* stage.<name>.* counter groups, one record per stage. *)
+type stage = {
+  st_name : string;
+  st_count : int;
+  st_wall_s : float;
+  st_sim_s : float;
+  st_minor_words : int;
+  st_major_words : int;
+  st_compactions : int;
+}
+
 let stages metrics =
-  let tbl : (string, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let tbl : (string, stage) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun (name, v) ->
       match v with
       | Metrics.Counter n -> (
         match String.split_on_char '.' name with
         | [ "stage"; stage; field ] ->
-          let c, w, s =
-            Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl stage)
+          let st =
+            Option.value
+              ~default:
+                { st_name = stage; st_count = 0; st_wall_s = 0.0; st_sim_s = 0.0;
+                  st_minor_words = 0; st_major_words = 0; st_compactions = 0 }
+              (Hashtbl.find_opt tbl stage)
           in
-          (match field with
-          | "count" -> Hashtbl.replace tbl stage (c + n, w, s)
-          | "wall_ns" -> Hashtbl.replace tbl stage (c, w + n, s)
-          | "sim_us" -> Hashtbl.replace tbl stage (c, w, s + n)
-          | _ -> ())
+          let st =
+            match field with
+            | "count" -> { st with st_count = st.st_count + n }
+            | "wall_ns" ->
+              { st with st_wall_s = st.st_wall_s +. (float_of_int n /. 1e9) }
+            | "sim_us" ->
+              { st with st_sim_s = st.st_sim_s +. (float_of_int n /. 1e6) }
+            | "gc_minor_words" -> { st with st_minor_words = st.st_minor_words + n }
+            | "gc_major_words" -> { st with st_major_words = st.st_major_words + n }
+            | "gc_compactions" -> { st with st_compactions = st.st_compactions + n }
+            | _ -> st
+          in
+          Hashtbl.replace tbl stage st
         | _ -> ())
       | _ -> ())
     metrics;
-  Hashtbl.fold
-    (fun stage (c, w, s) acc ->
-      (stage, c, float_of_int w /. 1e9, float_of_int s /. 1e6) :: acc)
-    tbl []
-  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+  Hashtbl.fold (fun _ st acc -> st :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.st_name b.st_name)
 
 let render_value = function
   | Metrics.Counter n -> string_of_int n
   | Metrics.Gauge g -> Printf.sprintf "%g" g
   | Metrics.Histogram h ->
-    Printf.sprintf "{\"sum\": %g, \"count\": %d, \"buckets\": [%s]}" h.Metrics.h_sum
-      h.Metrics.h_count
+    (* Percentiles are derived, not recorded: Summary reads them out of
+       the same fixed log buckets, so every histogram in the manifest
+       carries its p50/p90/p99 with no recording-side state. *)
+    let quantiles =
+      match Summary.of_hist h with
+      | None -> ""
+      | Some q ->
+        Printf.sprintf ", \"p50\": %g, \"p90\": %g, \"p99\": %g, \"max\": %g"
+          q.Summary.p50 q.Summary.p90 q.Summary.p99 q.Summary.max_est
+    in
+    Printf.sprintf "{\"sum\": %g, \"count\": %d%s, \"buckets\": [%s]}"
+      h.Metrics.h_sum h.Metrics.h_count quantiles
       (String.concat ", "
          (List.map
             (fun (lo, n) -> Printf.sprintf "[%g, %d]" lo n)
@@ -53,7 +82,7 @@ let render ~command ~scale ~jobs ?seed ?config ?(extra = []) () =
   let metrics = Metrics.collect () in
   let buf = Buffer.create 1024 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  addf "{\n  \"schema\": \"bdrmap-manifest/1\",\n";
+  addf "{\n  \"schema\": \"bdrmap-manifest/2\",\n";
   addf "  \"command\": \"%s\",\n" (escape command);
   (match seed with
   | Some s -> addf "  \"seed\": %d,\n" s
@@ -67,10 +96,13 @@ let render ~command ~scale ~jobs ?seed ?config ?(extra = []) () =
   addf "  \"stages\": {\n%s\n  },\n"
     (String.concat ",\n"
        (List.map
-          (fun (stage, count, wall_s, sim_s) ->
+          (fun st ->
             Printf.sprintf
-              "    \"%s\": {\"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f}"
-              (escape stage) count wall_s sim_s)
+              "    \"%s\": {\"count\": %d, \"wall_s\": %.6f, \"sim_s\": %.6f, \
+               \"gc_minor_words\": %d, \"gc_major_words\": %d, \
+               \"gc_compactions\": %d}"
+              (escape st.st_name) st.st_count st.st_wall_s st.st_sim_s
+              st.st_minor_words st.st_major_words st.st_compactions)
           (stages metrics)));
   addf "  \"metrics\": {\n%s\n  },\n"
     (String.concat ",\n"

@@ -1,7 +1,9 @@
-(** The per-run [manifest.json]: what ran (command, seed, scale, jobs,
-    config hash), how long each pipeline stage took (from the
-    [stage.*] counters recorded by {!Span.with_span}), and every
-    metric total — written next to the run's output so an inference
+(** The per-run [manifest.json] (schema [bdrmap-manifest/2]): what ran
+    (command, seed, scale, jobs, config hash), how long each pipeline
+    stage took and what it allocated (from the [stage.*] counters
+    recorded by {!Span.with_span}, including the per-stage GC deltas),
+    and every metric total — histograms carry derived p50/p90/p99/max
+    from {!Summary} — written next to the run's output so an inference
     can be audited without re-running it. *)
 
 (** [write ~path ~command ~scale ~jobs ?seed ?config ?extra ()] renders
@@ -34,7 +36,19 @@ val render :
   unit ->
   string
 
-(** [stages metrics] extracts per-stage timing triples
-    [(stage, count, wall_s, sim_s)] from [stage.*] counters, sorted by
-    stage name. *)
-val stages : (string * Metrics.value) list -> (string * int * float * float) list
+(** Per-stage rollup of the [stage.*] counters: invocation count, wall
+    and simulated time, and the GC allocation deltas summed over every
+    span of that stage. *)
+type stage = {
+  st_name : string;
+  st_count : int;
+  st_wall_s : float;
+  st_sim_s : float;
+  st_minor_words : int;
+  st_major_words : int;
+  st_compactions : int;
+}
+
+(** [stages metrics] extracts the per-stage records from [stage.*]
+    counters, sorted by stage name. *)
+val stages : (string * Metrics.value) list -> stage list

@@ -1,0 +1,56 @@
+(** Run-to-run regression diffing over the machine-readable artifacts:
+    [manifest.json] and [BENCH.json].
+
+    Both artifacts flatten into named numeric series
+    ([stage.<s>.wall_s], [metric.<name>], [experiment.<n>.wall_s],
+    [corpus.<scenario>.links_pct], ...). A {!diff} then compares series
+    present in both runs:
+
+    - {e volatile} series (wall-clock, GC deltas, ns/run estimates)
+      regress only when run B exceeds run A by the [wall_ratio]
+      multiplier {e and} an absolute per-unit noise floor — identical
+      or merely jittery runs never fail;
+    - every other series is a pure function of the configuration and
+      must match exactly (or within [rel], for cross-config diffs);
+    - a series present in A but absent in B is {!Missing} — schema or
+      coverage shrank.
+
+    [Improvement] findings are informational; {!regressions} filters to
+    the failing subset, which `bdrmap obs diff` turns into a nonzero
+    exit code. *)
+
+type kind = Manifest | Bench
+
+val kind_label : kind -> string
+
+type run = { kind : kind; schema : string; series : (string * float) list }
+
+(** [volatile_series name] — wall/GC/ns-per-run series, compared by
+    ratio rather than exactly. *)
+val volatile_series : string -> bool
+
+(** Absolute slack added on top of the ratio test for a volatile
+    series, in that series' own unit. *)
+val noise_floor : string -> float
+
+val of_json : Json.t -> (run, string) result
+val of_string : string -> (run, string) result
+val of_file : string -> (run, string) result
+
+type verdict = Regression | Improvement | Changed | Missing
+
+val verdict_label : verdict -> string
+
+type finding = { f_name : string; f_a : float; f_b : float; f_verdict : verdict }
+
+(** [failing f] is true for [Regression], [Changed] and [Missing]. *)
+val failing : finding -> bool
+
+(** [diff ?wall_ratio ?rel a b] compares [b] against baseline [a].
+    [wall_ratio] (default 1.5) is the volatile-series multiplier; [rel]
+    (default 0: exact) the relative tolerance for deterministic
+    series. *)
+val diff : ?wall_ratio:float -> ?rel:float -> run -> run -> finding list
+
+val regressions : finding list -> finding list
+val finding_to_string : finding -> string

@@ -87,11 +87,15 @@ let event ~kind fields =
   | None -> ()
   | Some sink -> emit_record sink ~kind fields
 
-let finish_span sink_opt ~stage ~vp ~sim_start ~sim_end ~wall_ns =
+let finish_span sink_opt ~stage ~vp ~sim_start ~sim_end ~wall_ns ~gc_minor
+    ~gc_major ~gc_compactions =
   Metrics.incr ("stage." ^ stage ^ ".count");
   Metrics.add ("stage." ^ stage ^ ".wall_ns") wall_ns;
   Metrics.add ("stage." ^ stage ^ ".sim_us")
     (int_of_float ((sim_end -. sim_start) *. 1e6));
+  Metrics.add ("stage." ^ stage ^ ".gc_minor_words") gc_minor;
+  Metrics.add ("stage." ^ stage ^ ".gc_major_words") gc_major;
+  Metrics.add ("stage." ^ stage ^ ".gc_compactions") gc_compactions;
   match sink_opt with
   | None -> ()
   | Some sink ->
@@ -99,12 +103,15 @@ let finish_span sink_opt ~stage ~vp ~sim_start ~sim_end ~wall_ns =
     let base =
       match vp with None -> [] | Some v -> [ ("vp", S v) ]
     in
-    (* wall_ns stays last: golden fixtures cut the volatile suffix. *)
+    (* Volatile fields (GC deltas, then wall_ns) stay last by
+       convention, but readers must not rely on it: Trace_reader
+       canonicalizes by field name. *)
     emit_record sink ~kind:"span"
       (("stage", S stage)
        :: base
       @ [ ("seq", I n); ("sim_start_s", F sim_start); ("sim_end_s", F sim_end);
-          ("wall_ns", I wall_ns) ])
+          ("gc_minor_words", I gc_minor); ("gc_major_words", I gc_major);
+          ("gc_compactions", I gc_compactions); ("wall_ns", I wall_ns) ])
 
 let with_span ~stage ?vp ?sim f =
   let sink_opt = Atomic.get current in
@@ -112,10 +119,22 @@ let with_span ~stage ?vp ?sim f =
   else begin
     let simf = match sim with Some g -> g | None -> fun () -> 0.0 in
     let sim_start = simf () in
+    (* Gc.counters is the allocation read that stays accurate on the
+       running domain (quick_stat only merges domain counters at GC
+       slices, so its deltas read as zero across a short span);
+       quick_stat is still consulted for the compaction count, which is
+       only bumped at stop-the-world events anyway. Both are cheap
+       reads, and both happen only on the obs-enabled path. *)
+    let minor0, _, major0 = Gc.counters () in
+    let compactions0 = (Gc.quick_stat ()).Gc.compactions in
     let wall0 = Unix.gettimeofday () in
     let record () =
       let wall_ns = int_of_float ((Unix.gettimeofday () -. wall0) *. 1e9) in
+      let minor1, _, major1 = Gc.counters () in
       finish_span sink_opt ~stage ~vp ~sim_start ~sim_end:(simf ()) ~wall_ns
+        ~gc_minor:(int_of_float (minor1 -. minor0))
+        ~gc_major:(int_of_float (major1 -. major0))
+        ~gc_compactions:((Gc.quick_stat ()).Gc.compactions - compactions0)
     in
     match f () with
     | r ->

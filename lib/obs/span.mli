@@ -3,10 +3,11 @@
 
     Every span carries both clocks the system runs on: monotonic
     wall-clock (nanoseconds, volatile between runs) and the simulated
-    probe clock (seconds, deterministic for a fixed seed). Records are
-    single JSON lines with fields in a fixed order; volatile wall-clock
-    fields are always emitted {e last}, so golden fixtures can strip
-    them with a plain suffix cut.
+    probe clock (seconds, deterministic for a fixed seed), plus the
+    GC's allocation deltas across the scope. Records are single JSON
+    lines with fields in a fixed order; golden fixtures strip the
+    volatile fields by {e name} through {!Trace_reader.canonical}
+    rather than relying on that order.
 
     With no sink installed and metrics disabled, {!with_span} runs its
     thunk after a single branch and allocates no trace record —
@@ -48,12 +49,19 @@ val event : kind:string -> (string * v) list -> unit
 
 (** [with_span ~stage ?vp ?sim f] runs [f]. When a sink is active or
     metrics are enabled it also: times [f] on the wall clock and on
-    [sim] (the simulated probe clock, default constant 0); adds
-    [stage.<stage>.count], [stage.<stage>.wall_ns] and
-    [stage.<stage>.sim_us] counters; and emits a span record
+    [sim] (the simulated probe clock, default constant 0); measures the
+    [Gc.quick_stat] delta across [f] (minor/major words allocated,
+    compactions) so allocation is attributed per stage without a
+    profiler; adds [stage.<stage>.count], [.wall_ns], [.sim_us],
+    [.gc_minor_words], [.gc_major_words] and [.gc_compactions]
+    counters; and emits a span record
     [{"type":"span","stage":...,"vp":...,"seq":N,"sim_start_s":...,
-    "sim_end_s":...,"wall_ns":...}]. The span is recorded even when [f]
-    raises. Span sequence numbers are process-global and atomic. *)
+    "sim_end_s":...,"gc_minor_words":...,"gc_major_words":...,
+    "gc_compactions":...,"wall_ns":...}]. The volatile fields (GC
+    deltas, wall_ns) are emitted after the deterministic ones, but
+    readers should strip them by name ({!Trace_reader.canonical}), not
+    by position. The span is recorded even when [f] raises. Span
+    sequence numbers are process-global and atomic. *)
 val with_span : stage:string -> ?vp:string -> ?sim:(unit -> float) -> (unit -> 'a) -> 'a
 
 (** {1 Accounting for the zero-sink fast path} *)

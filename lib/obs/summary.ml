@@ -1,0 +1,53 @@
+(* Percentile estimation over the fixed log-bucket layout of
+   [Metrics.observe]. Buckets are quarter-decade, so the upper edge of
+   a bucket is its lower bound times 10^(1/4); within a bucket the mass
+   is assumed uniform and the percentile position interpolated
+   linearly. That bounds the estimation error by the bucket width
+   (~78% relative), which is exactly the resolution the recording side
+   chose — no extra state is needed to read p50/p90/p99 back out of
+   any already-collected histogram. *)
+
+type quantiles = { p50 : float; p90 : float; p99 : float; max_est : float }
+
+let bucket_width = 10.0 ** 0.25
+
+(* Upper edge of the bucket whose lower bound is [lo]. Bucket 0 (the
+   underflow bucket) spans [0, 1e-9). *)
+let bucket_upper lo = if lo <= 0.0 then 1e-9 else lo *. bucket_width
+
+let percentile_of_buckets ~count buckets q =
+  if count <= 0 || buckets = [] then None
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int count in
+    let rec walk seen = function
+      | [] ->
+        (* rank = count lands exactly on the end of the last bucket. *)
+        let lo, _ = List.nth buckets (List.length buckets - 1) in
+        Some (bucket_upper lo)
+      | (lo, n) :: rest ->
+        let seen' = seen +. float_of_int n in
+        if seen' >= rank && n > 0 then
+          let frac = (rank -. seen) /. float_of_int n in
+          let frac = if frac < 0.0 then 0.0 else frac in
+          Some (lo +. ((bucket_upper lo -. lo) *. frac))
+        else walk seen' rest
+    in
+    walk 0.0 buckets
+  end
+
+let max_of_buckets buckets =
+  List.fold_left (fun acc (lo, n) -> if n > 0 then bucket_upper lo else acc) 0.0 buckets
+
+let quantiles_of_buckets ~count buckets =
+  match
+    ( percentile_of_buckets ~count buckets 0.50,
+      percentile_of_buckets ~count buckets 0.90,
+      percentile_of_buckets ~count buckets 0.99 )
+  with
+  | Some p50, Some p90, Some p99 ->
+    Some { p50; p90; p99; max_est = max_of_buckets buckets }
+  | _ -> None
+
+let of_hist (h : Metrics.histogram) =
+  quantiles_of_buckets ~count:h.Metrics.h_count h.Metrics.h_buckets

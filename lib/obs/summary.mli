@@ -1,0 +1,31 @@
+(** Percentile estimation from the fixed log-bucket histograms of
+    {!Metrics}.
+
+    Buckets are quarter-decade wide, so a percentile read back from a
+    collected histogram is exact to within one bucket; within a bucket
+    the mass is interpolated uniformly. This is the entire "summary"
+    side of the metrics pipeline: any histogram — live from
+    {!Metrics.collect}, or re-parsed out of a manifest or BENCH.json —
+    summarizes to p50/p90/p99/max with no recording-side changes. *)
+
+type quantiles = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_est : float;  (** upper edge of the highest non-empty bucket *)
+}
+
+(** [bucket_upper lo] is the upper edge of the bucket whose inclusive
+    lower bound is [lo] (the underflow bucket's edge for [lo <= 0]). *)
+val bucket_upper : float -> float
+
+(** [percentile_of_buckets ~count buckets q] estimates the [q]-quantile
+    ([0..1], clamped) from non-empty [(lower_bound, count)] buckets in
+    ascending order totalling [count] observations. [None] iff the
+    histogram is empty. *)
+val percentile_of_buckets : count:int -> (float * int) list -> float -> float option
+
+val quantiles_of_buckets : count:int -> (float * int) list -> quantiles option
+
+(** [of_hist h] summarizes a collected histogram. [None] iff empty. *)
+val of_hist : Metrics.histogram -> quantiles option

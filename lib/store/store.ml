@@ -178,9 +178,19 @@ let entries t =
            Some (key, bytes, status))
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+type gc_stats = { gc_removed : int; gc_kept : int; gc_bytes_freed : int }
+
 let gc ?(all = false) t =
-  let removed = ref 0 and kept = ref 0 in
-  let rm file = try Sys.remove file; incr removed with Sys_error _ -> () in
+  let removed = ref 0 and kept = ref 0 and bytes = ref 0 in
+  let rm file =
+    (* Size first: after the remove there is nothing left to measure. *)
+    let size = try (Unix.stat file).Unix.st_size with Unix.Unix_error _ -> 0 in
+    try
+      Sys.remove file;
+      incr removed;
+      bytes := !bytes + size
+    with Sys_error _ -> ()
+  in
   (match Sys.readdir t.dir with
    | exception Sys_error _ -> ()
    | names ->
@@ -192,4 +202,4 @@ let gc ?(all = false) t =
     (fun (key, _, status) ->
       if all || status <> None then rm (path t key) else incr kept)
     (entries t);
-  (!removed, !kept)
+  { gc_removed = !removed; gc_kept = !kept; gc_bytes_freed = !bytes }

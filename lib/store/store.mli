@@ -66,6 +66,11 @@ val remove : t -> key:string -> unit
     sorted by key.  Temp files are not listed. *)
 val entries : t -> (string * int * miss option) list
 
+(** What a {!gc} sweep reclaimed: files removed, valid entries kept,
+    and on-disk bytes freed (entry payloads plus headers plus orphaned
+    temp files, measured before deletion). *)
+type gc_stats = { gc_removed : int; gc_kept : int; gc_bytes_freed : int }
+
 (** [gc t] removes invalid entries and orphaned temp files; [~all:true]
-    removes valid entries too.  Returns [(removed, kept)]. *)
-val gc : ?all:bool -> t -> int * int
+    removes valid entries too. *)
+val gc : ?all:bool -> t -> gc_stats

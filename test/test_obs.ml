@@ -201,14 +201,21 @@ let all_vp_lines pool =
         r.Bdrmap.Pipeline.inference)
     runs
 
-(* Volatile wall-clock counters are the only metrics allowed to differ
-   between two runs of the same workload. *)
+(* Volatile wall-clock and GC-delta counters are the only metrics
+   allowed to differ between two runs of the same workload: allocation
+   attribution shifts with pool overhead and domain distribution. *)
 let stable_metrics ms =
+  let has_suffix suffix name =
+    let n = String.length name and m = String.length suffix in
+    n >= m && String.sub name (n - m) m = suffix
+  in
+  let contains sub name =
+    let n = String.length sub and m = String.length name in
+    let rec go i = i + n <= m && (String.sub name i n = sub || go (i + 1)) in
+    go 0
+  in
   List.filter
-    (fun (name, _) ->
-      let suffix = ".wall_ns" in
-      let n = String.length name and m = String.length suffix in
-      not (n >= m && String.sub name (n - m) m = suffix))
+    (fun (name, _) -> not (has_suffix ".wall_ns" name || contains ".gc_" name))
     ms
 
 let test_multi_vp_j1_vs_j4 () =
@@ -242,7 +249,8 @@ let test_span_record_shape () =
                         && String.sub line 0 (String.length p) = p in
     Alcotest.(check bool) "span record" true
       (starts_with "{\"type\":\"span\",\"stage\":\"demo\",\"vp\":\"vp-test\",");
-    (* wall_ns must be the last field so golden fixtures can cut it. *)
+    (* Volatile fields are stripped by name now, but wall_ns staying
+       last keeps old traces and eyeball diffs tidy. *)
     let has_tail =
       match String.rindex_opt line ',' with
       | Some i ->
@@ -266,7 +274,7 @@ let test_manifest_render () =
   in
   List.iter
     (fun sub -> Alcotest.(check bool) ("manifest has " ^ sub) true (contains sub))
-    [ "\"schema\": \"bdrmap-manifest/1\"";
+    [ "\"schema\": \"bdrmap-manifest/2\"";
       "\"command\": \"test\"";
       "\"seed\": 7";
       "\"jobs\": 2";

@@ -18,7 +18,7 @@ let with_store f =
   let st = Store.open_dir dir in
   Fun.protect
     ~finally:(fun () ->
-      ignore (Store.gc ~all:true st);
+      ignore (Store.gc ~all:true st : Store.gc_stats);
       try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () -> f st)
 
@@ -104,13 +104,14 @@ let test_corrupt_entries () =
       (* gc: sweeps the invalid entry and orphaned temp files, keeps the
          valid one. *)
       write_bytes (Filename.concat (Store.dir st) (key ^ ".run.tmp-1-0-0")) "torn";
-      let removed, kept = Store.gc st in
-      Alcotest.(check int) "gc removed stale + tmp" 2 removed;
-      Alcotest.(check int) "gc kept valid" 1 kept;
+      let stats = Store.gc st in
+      Alcotest.(check int) "gc removed stale + tmp" 2 stats.Store.gc_removed;
+      Alcotest.(check int) "gc kept valid" 1 stats.Store.gc_kept;
+      Alcotest.(check bool) "gc freed bytes" true (stats.Store.gc_bytes_freed > 0);
       Alcotest.(check bool) "valid entry survived gc" true (Store.mem st ~key);
-      let removed, kept = Store.gc ~all:true st in
-      Alcotest.(check int) "gc --all removed" 1 removed;
-      Alcotest.(check int) "gc --all kept" 0 kept)
+      let stats = Store.gc ~all:true st in
+      Alcotest.(check int) "gc --all removed" 1 stats.Store.gc_removed;
+      Alcotest.(check int) "gc --all kept" 0 stats.Store.gc_kept)
 
 (* -- pipeline-level tests, on the tiny world -- *)
 

@@ -1,0 +1,435 @@
+(* The read side of observability: JSON parsing, trace round trips,
+   percentile estimation from the fixed log buckets, run-diff verdict
+   semantics, and the OpenMetrics exposition. Malformed input must
+   surface as typed errors, never exceptions. *)
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* -- Json: parse / render round trips and typed parse errors -- *)
+
+let test_json_roundtrip () =
+  (* Everything our emitters produce must survive parse -> to_string
+     byte-identically: that is what makes canonicalization a pure
+     field filter rather than a re-formatting pass. *)
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok v -> Alcotest.(check string) ("roundtrip " ^ s) s (Obs.Json.to_string v)
+      | Error e ->
+        Alcotest.fail (Printf.sprintf "%s: %s" s (Obs.Json.error_to_string e)))
+    [ "{\"type\":\"span\",\"stage\":\"collect\",\"seq\":3,\"sim_start_s\":0,\"wall_ns\":12345}";
+      "{\"a\":-1,\"b\":true,\"c\":false,\"d\":null}";
+      "{\"s\":\"he said \\\"hi\\\"\\n\",\"f\":1.5}";
+      "[1,2.5,\"x\",[],{}]";
+      "{\"nested\":{\"deep\":[{\"k\":0}]}}" ]
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S parsed but should not" s)
+      | Error _ -> ())
+    [ ""; "{"; "}"; "{\"a\":}"; "{\"a\":1,}"; "[1,"; "\"unterminated";
+      "{\"a\":1} trailing"; "nul"; "+5"; "01x" ]
+
+let test_json_numbers () =
+  (* Ints stay Int (so re-render has no ".0"); fractions and exponents
+     become Float. *)
+  Alcotest.(check bool) "int" true (Obs.Json.parse "42" = Ok (Obs.Json.Int 42));
+  Alcotest.(check bool) "negative int" true
+    (Obs.Json.parse "-7" = Ok (Obs.Json.Int (-7)));
+  Alcotest.(check bool) "float" true
+    (Obs.Json.parse "2.5" = Ok (Obs.Json.Float 2.5));
+  Alcotest.(check bool) "exponent" true
+    (Obs.Json.parse "1e3" = Ok (Obs.Json.Float 1000.0))
+
+(* -- Trace_reader: typed errors, truncation tolerance, round trips -- *)
+
+let span_line =
+  "{\"type\":\"span\",\"stage\":\"collect\",\"vp\":\"vp-0\",\"seq\":0,\
+   \"sim_start_s\":0,\"sim_end_s\":1.5,\"gc_minor_words\":880,\
+   \"gc_major_words\":12,\"gc_compactions\":0,\"wall_ns\":123456}"
+
+let test_parse_line () =
+  (match Obs.Trace_reader.parse_line span_line with
+  | Ok r ->
+    Alcotest.(check string) "kind" "span" r.Obs.Trace_reader.kind;
+    Alcotest.(check bool) "type field excluded" true
+      (not (List.mem_assoc "type" r.Obs.Trace_reader.fields));
+    Alcotest.(check string) "render roundtrip" span_line
+      (Obs.Trace_reader.render r);
+    let canon = Obs.Trace_reader.canonical r in
+    Alcotest.(check bool) "canonical drops wall_ns" true
+      (not (contains "wall_ns" canon));
+    Alcotest.(check bool) "canonical drops gc fields" true
+      (not (contains "gc_" canon));
+    Alcotest.(check bool) "canonical keeps sim fields" true
+      (contains "\"sim_end_s\":1.5" canon)
+  | Error e -> Alcotest.fail (Obs.Trace_reader.err_label e));
+  let expect_err name line =
+    match Obs.Trace_reader.parse_line line with
+    | Ok _ -> Alcotest.fail (name ^ ": parsed but should not")
+    | Error _ -> ()
+  in
+  expect_err "garbage" "not json at all";
+  expect_err "non-object" "[1,2,3]";
+  expect_err "missing type" "{\"stage\":\"collect\"}";
+  expect_err "non-string type" "{\"type\":7}"
+
+let test_of_lines_tolerance () =
+  (* Comments and blanks are skipped; a malformed FINAL line (crashed
+     writer) is dropped and flagged; a malformed interior line is a
+     typed error carrying its 1-based line number. *)
+  (match Obs.Trace_reader.of_lines [ "# header"; ""; span_line; "  " ] with
+  | Ok t ->
+    Alcotest.(check int) "one record" 1 (List.length t.Obs.Trace_reader.records);
+    Alcotest.(check bool) "not truncated" false t.Obs.Trace_reader.truncated
+  | Error e -> Alcotest.fail (Obs.Trace_reader.error_to_string e));
+  (match Obs.Trace_reader.of_lines [ span_line; "{\"type\":\"span\",\"st" ] with
+  | Ok t ->
+    Alcotest.(check int) "torn tail dropped" 1
+      (List.length t.Obs.Trace_reader.records);
+    Alcotest.(check bool) "truncated flagged" true t.Obs.Trace_reader.truncated
+  | Error e -> Alcotest.fail (Obs.Trace_reader.error_to_string e));
+  match Obs.Trace_reader.of_lines [ span_line; "garbage"; span_line ] with
+  | Ok _ -> Alcotest.fail "interior garbage must be a hard error"
+  | Error e -> Alcotest.(check int) "error names the line" 2 e.Obs.Trace_reader.line
+
+let test_of_file_missing () =
+  match Obs.Trace_reader.of_file "/nonexistent/bdrmap-trace.jsonl" with
+  | Ok _ -> Alcotest.fail "read a nonexistent file"
+  | Error { err = Obs.Trace_reader.Unreadable _; _ } -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Obs.Trace_reader.error_to_string e)
+
+(* A live round trip: spans emitted through the memory sink parse back
+   loss-free (render is byte-identical), and the summary sees every
+   span with GC deltas attributed. *)
+let test_live_roundtrip () =
+  let sink, drain = Obs.Span.memory_sink () in
+  Obs.Span.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.close_sink ())
+    (fun () ->
+      Obs.Span.with_span ~stage:"outer" ~vp:"vp-7"
+        ~sim:(fun () -> 2.0)
+        (fun () ->
+          Obs.Span.with_span ~stage:"inner" ~vp:"vp-7" (fun () ->
+              ignore (Sys.opaque_identity (Array.make 4096 0.0)));
+          Obs.Span.event ~kind:"heuristic_fire"
+            [ ("heuristic", Obs.Span.S "ixp"); ("count", Obs.Span.I 3) ]));
+  let lines = drain () in
+  match Obs.Trace_reader.of_lines lines with
+  | Error e -> Alcotest.fail (Obs.Trace_reader.error_to_string e)
+  | Ok t ->
+    Alcotest.(check (list string)) "render is byte-identical"
+      lines
+      (List.map Obs.Trace_reader.render t.Obs.Trace_reader.records);
+    let sm = Obs.Trace_reader.summarize t in
+    Alcotest.(check int) "two spans" 2 sm.Obs.Trace_reader.sm_spans;
+    Alcotest.(check int) "three records" 3 sm.Obs.Trace_reader.sm_records;
+    Alcotest.(check bool) "fires counted" true
+      (sm.Obs.Trace_reader.sm_fires = [ ("ixp", 3) ]);
+    (match sm.Obs.Trace_reader.sm_vps with
+    | [ { Obs.Trace_reader.vg_vp = Some "vp-7"; vg_stages } ] ->
+      (* inner finishes (and is emitted) before outer *)
+      Alcotest.(check (list string)) "stages in emission order"
+        [ "inner"; "outer" ]
+        (List.map (fun s -> s.Obs.Trace_reader.ss_stage) vg_stages);
+      let inner = List.hd vg_stages in
+      (* A 4096-word array allocates directly on the major heap. *)
+      Alcotest.(check bool) "allocation attributed to inner" true
+        (inner.Obs.Trace_reader.ss_minor_words
+         + inner.Obs.Trace_reader.ss_major_words
+        > 0)
+    | _ -> Alcotest.fail "expected one vp group for vp-7");
+    let report = Obs.Trace_reader.report_lines ~volatile:false sm in
+    Alcotest.(check bool) "canonical report has no wall column" true
+      (not (List.exists (contains "wall") report))
+
+(* Property: any span tree emitted through the sink parses back with a
+   byte-identical render, a volatile-free canonical form, and a summary
+   that accounts for every span exactly once. *)
+type tree = Node of string * string option * tree list
+
+let tree_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let stage = oneofl [ "alpha"; "beta"; "gamma"; "delta" ] in
+        let vp = opt (oneofl [ "vp-0"; "vp-1" ]) in
+        if n <= 0 then map (fun (s, v) -> Node (s, v, [])) (pair stage vp)
+        else
+          map3
+            (fun s v kids -> Node (s, v, kids))
+            stage vp
+            (list_size (int_bound 3) (self (n / 4)))))
+
+let rec count_nodes (Node (_, _, kids)) =
+  1 + List.fold_left (fun a k -> a + count_nodes k) 0 kids
+
+let prop_span_tree_roundtrip =
+  QCheck.Test.make ~name:"span tree round trip" ~count:50
+    (QCheck.make tree_gen) (fun tree ->
+      let sink, drain = Obs.Span.memory_sink () in
+      Obs.Span.set_sink (Some sink);
+      let clock = ref 0.0 in
+      let sim () = !clock in
+      let rec emit (Node (stage, vp, kids)) =
+        Obs.Span.with_span ~stage ?vp ~sim (fun () ->
+            clock := !clock +. 1.0;
+            List.iter emit kids)
+      in
+      Fun.protect ~finally:(fun () -> Obs.Span.close_sink ()) (fun () -> emit tree);
+      let lines = drain () in
+      match Obs.Trace_reader.of_lines lines with
+      | Error e -> QCheck.Test.fail_report (Obs.Trace_reader.error_to_string e)
+      | Ok t ->
+        let sm = Obs.Trace_reader.summarize t in
+        let stage_count =
+          List.fold_left
+            (fun acc vg ->
+              List.fold_left
+                (fun acc st -> acc + st.Obs.Trace_reader.ss_count)
+                acc vg.Obs.Trace_reader.vg_stages)
+            0 sm.Obs.Trace_reader.sm_vps
+        in
+        List.map Obs.Trace_reader.render t.Obs.Trace_reader.records = lines
+        && (not t.Obs.Trace_reader.truncated)
+        && sm.Obs.Trace_reader.sm_spans = count_nodes tree
+        && stage_count = count_nodes tree
+        && List.for_all
+             (fun r ->
+               let c = Obs.Trace_reader.canonical r in
+               not (contains "wall_ns" c || contains "gc_" c))
+             t.Obs.Trace_reader.records)
+
+(* -- Summary: percentile estimation from the fixed log buckets -- *)
+
+let test_summary_quantiles () =
+  Alcotest.(check bool) "empty histogram has no quantiles" true
+    (Obs.Summary.quantiles_of_buckets ~count:0 [] = None);
+  (* 100 observations of exactly 1.0 all land in one bucket: every
+     percentile must stay inside that bucket's edges. *)
+  let one_bucket = [ (1.0, 100) ] in
+  (match Obs.Summary.quantiles_of_buckets ~count:100 one_bucket with
+  | None -> Alcotest.fail "expected quantiles"
+  | Some q ->
+    List.iter
+      (fun (name, v) ->
+        Alcotest.(check bool) (name ^ " within bucket") true
+          (v >= 1.0 && v <= Obs.Summary.bucket_upper 1.0))
+      [ ("p50", q.Obs.Summary.p50); ("p90", q.Obs.Summary.p90);
+        ("p99", q.Obs.Summary.p99); ("max", q.Obs.Summary.max_est) ];
+    Alcotest.(check bool) "monotone" true
+      (q.Obs.Summary.p50 <= q.Obs.Summary.p90
+      && q.Obs.Summary.p90 <= q.Obs.Summary.p99
+      && q.Obs.Summary.p99 <= q.Obs.Summary.max_est));
+  (* 90 fast observations and 10 slow ones: p50 reads from the fast
+     bucket, p99 from the slow one. *)
+  let skewed = [ (0.001, 90); (100.0, 10) ] in
+  match Obs.Summary.quantiles_of_buckets ~count:100 skewed with
+  | None -> Alcotest.fail "expected quantiles"
+  | Some q ->
+    Alcotest.(check bool) "p50 in fast bucket" true
+      (q.Obs.Summary.p50 <= Obs.Summary.bucket_upper 0.001);
+    Alcotest.(check bool) "p99 in slow bucket" true (q.Obs.Summary.p99 >= 100.0)
+
+let test_summary_of_hist () =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.disable ())
+    (fun () ->
+      for i = 1 to 100 do
+        Obs.Metrics.observe "lat" (float_of_int i /. 100.0)
+      done;
+      match List.assoc "lat" (Obs.Metrics.collect ()) with
+      | Obs.Metrics.Histogram h -> (
+        match Obs.Summary.of_hist h with
+        | None -> Alcotest.fail "expected quantiles"
+        | Some q ->
+          (* True p50 is 0.50; quarter-decade buckets bound the estimate
+             within one bucket either side. *)
+          Alcotest.(check bool) "p50 near 0.5" true
+            (q.Obs.Summary.p50 > 0.2 && q.Obs.Summary.p50 < 1.0);
+          Alcotest.(check bool) "max within top bucket edge" true
+            (q.Obs.Summary.max_est >= 1.0))
+      | _ -> Alcotest.fail "expected a histogram")
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles stay within observed bucket range" ~count:100
+    QCheck.(make Gen.(list_size (int_range 1 50) (float_bound_exclusive 1000.0)))
+    (fun vs ->
+      QCheck.assume (vs <> []);
+      Obs.Metrics.enable ();
+      Obs.Metrics.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.reset ();
+          Obs.Metrics.disable ())
+        (fun () ->
+          List.iter (Obs.Metrics.observe "p") vs;
+          match List.assoc "p" (Obs.Metrics.collect ()) with
+          | Obs.Metrics.Histogram h -> (
+            match Obs.Summary.of_hist h with
+            | None -> false
+            | Some q ->
+              let lo_edge =
+                match h.Obs.Metrics.h_buckets with
+                | (lo, _) :: _ -> lo
+                | [] -> 0.0
+              in
+              let hi_edge =
+                Obs.Summary.bucket_upper
+                  (List.fold_left (fun _ (lo, _) -> lo) 0.0 h.Obs.Metrics.h_buckets)
+              in
+              q.Obs.Summary.p50 <= q.Obs.Summary.p90
+              && q.Obs.Summary.p90 <= q.Obs.Summary.p99
+              && q.Obs.Summary.p99 <= q.Obs.Summary.max_est
+              && q.Obs.Summary.p50 >= lo_edge
+              && q.Obs.Summary.max_est <= hi_edge +. 1e-9)
+          | _ -> false))
+
+(* -- Run_diff: verdict semantics over flattened series -- *)
+
+let manifest ~wall ~sim =
+  Printf.sprintf
+    {|{"schema": "bdrmap-manifest/2", "command": "run", "scale": 0.15, "jobs": 1,
+  "stages": {"collect": {"count": 1, "wall_s": %g, "sim_s": %g, "gc_minor_words": 500, "gc_major_words": 10, "gc_compactions": 0}},
+  "metrics": {"probes.sent": 42, "probe.rtt_s": {"sum": 5.0, "count": 10, "p50": 0.4, "buckets": [[0.1, 10]]}},
+  "trace_records": 7, "created_unix": 1700000000}|}
+    wall sim
+
+let load s =
+  match Obs.Run_diff.of_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("run_diff parse: " ^ e)
+
+let test_diff_identical () =
+  let a = load (manifest ~wall:0.1 ~sim:12.5) in
+  Alcotest.(check bool) "manifest kind" true (a.Obs.Run_diff.kind = Obs.Run_diff.Manifest);
+  Alcotest.(check bool) "series flattened" true
+    (List.mem_assoc "stage.collect.wall_s" a.Obs.Run_diff.series
+    && List.mem_assoc "metric.probes.sent" a.Obs.Run_diff.series
+    && List.mem_assoc "metric.probe.rtt_s.p50" a.Obs.Run_diff.series);
+  Alcotest.(check bool) "created_unix not compared" true
+    (not (List.mem_assoc "created_unix" a.Obs.Run_diff.series));
+  let findings = Obs.Run_diff.diff a a in
+  Alcotest.(check bool) "identical runs produce no findings" true (findings = [])
+
+let test_diff_wall_regression () =
+  let a = load (manifest ~wall:0.1 ~sim:12.5) in
+  let b = load (manifest ~wall:0.25 ~sim:12.5) in
+  let failing = Obs.Run_diff.regressions (Obs.Run_diff.diff a b) in
+  (match failing with
+  | [ f ] ->
+    Alcotest.(check string) "names the stage series" "stage.collect.wall_s"
+      f.Obs.Run_diff.f_name;
+    Alcotest.(check bool) "verdict" true (f.Obs.Run_diff.f_verdict = Obs.Run_diff.Regression)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failing finding, got %d" (List.length fs)));
+  (* The reverse direction is an improvement, not a failure. *)
+  let back = Obs.Run_diff.diff b a in
+  Alcotest.(check bool) "improvement is not failing" true
+    (Obs.Run_diff.regressions back = []
+    && List.exists
+         (fun f -> f.Obs.Run_diff.f_verdict = Obs.Run_diff.Improvement)
+         back)
+
+let test_diff_noise_floor () =
+  (* A 4x blow-up under the absolute noise floor is scheduler jitter,
+     not a regression. *)
+  let a = load (manifest ~wall:0.001 ~sim:12.5) in
+  let b = load (manifest ~wall:0.004 ~sim:12.5) in
+  Alcotest.(check bool) "sub-floor jitter ignored" true
+    (Obs.Run_diff.regressions (Obs.Run_diff.diff a b) = [])
+
+let test_diff_deterministic_changed () =
+  (* Deterministic series must match exactly by default; --rel loosens. *)
+  let a = load (manifest ~wall:0.1 ~sim:12.5) in
+  let b = load (manifest ~wall:0.1 ~sim:13.0) in
+  (match Obs.Run_diff.regressions (Obs.Run_diff.diff a b) with
+  | [ f ] ->
+    Alcotest.(check string) "names sim series" "stage.collect.sim_s" f.Obs.Run_diff.f_name;
+    Alcotest.(check bool) "verdict changed" true
+      (f.Obs.Run_diff.f_verdict = Obs.Run_diff.Changed)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  Alcotest.(check bool) "rel tolerance accepts it" true
+    (Obs.Run_diff.regressions (Obs.Run_diff.diff ~rel:0.1 a b) = [])
+
+let test_diff_missing () =
+  let a = load (manifest ~wall:0.1 ~sim:12.5) in
+  let b =
+    load
+      {|{"schema": "bdrmap-manifest/2", "scale": 0.15, "jobs": 1, "stages": {},
+  "metrics": {}, "trace_records": 7}|}
+  in
+  let missing =
+    List.filter
+      (fun f -> f.Obs.Run_diff.f_verdict = Obs.Run_diff.Missing)
+      (Obs.Run_diff.diff a b)
+  in
+  Alcotest.(check bool) "shrunk coverage is Missing (and failing)" true
+    (missing <> [] && List.for_all Obs.Run_diff.failing missing)
+
+let test_diff_bench_kind () =
+  let bench =
+    {|{"schema": "bdrmap-bench/8", "scale": 0.3, "domains": 4,
+  "experiments": [{"name": "warm", "wall_s": 1.5, "gc_major_words": 100}],
+  "corpus": [{"scenario": "moas_storm", "links_pct": 92.5}]}|}
+  in
+  let r = load bench in
+  Alcotest.(check bool) "bench kind" true (r.Obs.Run_diff.kind = Obs.Run_diff.Bench);
+  Alcotest.(check bool) "experiment + corpus series" true
+    (List.mem_assoc "experiment.warm.wall_s" r.Obs.Run_diff.series
+    && List.mem_assoc "corpus.moas_storm.links_pct" r.Obs.Run_diff.series);
+  match Obs.Run_diff.of_string {|{"schema": "something-else/1"}|} with
+  | Ok _ -> Alcotest.fail "unknown schema accepted"
+  | Error _ -> ()
+
+(* -- Openmetrics: exposition shape -- *)
+
+let test_openmetrics () =
+  match Obs.Openmetrics.of_string (manifest ~wall:0.1 ~sim:12.5) with
+  | Error e -> Alcotest.fail e
+  | Ok text ->
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool) ("exposition has " ^ sub) true (contains sub text))
+      [ "bdrmap_run_info{schema=\"bdrmap-manifest/2\",command=\"run\"} 1";
+        "bdrmap_stage_wall_s{stage=\"collect\"} 0.1";
+        "bdrmap_stage_gc_minor_words{stage=\"collect\"} 500";
+        "# TYPE bdrmap_probes_sent counter";
+        "bdrmap_probes_sent_total 42";
+        "# TYPE bdrmap_probe_rtt_s histogram";
+        "bdrmap_probe_rtt_s_bucket{le=\"+Inf\"} 10";
+        "bdrmap_probe_rtt_s_count 10" ];
+    let eof = "# EOF\n" in
+    Alcotest.(check bool) "ends with # EOF" true
+      (String.length text >= String.length eof
+      && String.sub text (String.length text - String.length eof)
+           (String.length eof)
+         = eof)
+
+let suite =
+  [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "parse_line" `Quick test_parse_line;
+    Alcotest.test_case "of_lines tolerance" `Quick test_of_lines_tolerance;
+    Alcotest.test_case "of_file missing" `Quick test_of_file_missing;
+    Alcotest.test_case "live roundtrip" `Quick test_live_roundtrip;
+    Qc.to_alcotest prop_span_tree_roundtrip;
+    Alcotest.test_case "summary quantiles" `Quick test_summary_quantiles;
+    Alcotest.test_case "summary of_hist" `Quick test_summary_of_hist;
+    Qc.to_alcotest prop_percentile_bounds;
+    Alcotest.test_case "diff identical" `Quick test_diff_identical;
+    Alcotest.test_case "diff wall regression" `Quick test_diff_wall_regression;
+    Alcotest.test_case "diff noise floor" `Quick test_diff_noise_floor;
+    Alcotest.test_case "diff deterministic changed" `Quick test_diff_deterministic_changed;
+    Alcotest.test_case "diff missing" `Quick test_diff_missing;
+    Alcotest.test_case "diff bench kind" `Quick test_diff_bench_kind;
+    Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics ]

@@ -1,6 +1,6 @@
 (* Golden-trace generator: the full pipeline on the fixed-seed tiny
-   world, traced through a memory sink and printed with the volatile
-   wall-clock field stripped. Every remaining field — stage sequence,
+   world, traced through a memory sink and canonicalized through the
+   trace reader. Every remaining field — stage sequence,
    simulated-clock intervals, per-router provenance, per-heuristic fire
    counts — is deterministic, so `dune runtest` diffs this against
    golden_tiny_trace.txt and any change to stage structure or
@@ -8,20 +8,6 @@
    intended change. *)
 
 module Gen = Topogen.Gen
-
-(* [wall_ns] is by construction the last field of a span record, so the
-   volatile part is removed with a suffix cut. *)
-let strip_wall line =
-  let marker = ",\"wall_ns\":" in
-  let n = String.length marker and m = String.length line in
-  let rec find i =
-    if i + n > m then None
-    else if String.sub line i n = marker then Some i
-    else find (i + 1)
-  in
-  match find 0 with
-  | Some i -> String.sub line 0 i ^ "}"
-  | None -> line
 
 let () =
   let sink, drain = Obs.Span.memory_sink () in
@@ -31,5 +17,13 @@ let () =
   let vp = List.hd w.Gen.vps in
   ignore (Bdrmap.Pipeline.execute engine inputs ~vp);
   Obs.Span.set_sink None;
-  print_endline "# trace, scenario=tiny seed=7 vp=0 (wall-clock stripped)";
-  List.iter (fun l -> print_endline (strip_wall l)) (drain ())
+  print_endline "# trace, scenario=tiny seed=7 vp=0 (volatile fields stripped)";
+  (* Round trip through the reader: volatile fields (wall_ns and the
+     GC deltas) are classified by name, not by record position. *)
+  match Obs.Trace_reader.of_lines (drain ()) with
+  | Error e -> failwith (Obs.Trace_reader.error_to_string e)
+  | Ok t ->
+    if t.Obs.Trace_reader.truncated then failwith "unexpected truncated trace";
+    List.iter
+      (fun r -> print_endline (Obs.Trace_reader.canonical r))
+      t.Obs.Trace_reader.records
