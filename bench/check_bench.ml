@@ -7,10 +7,13 @@
    sweep that stays inside a near-zero GC major-words budget — the
    regression gate for the route arenas staying GC-invisible — and
    every adversarial corpus scenario must hold its recorded accuracy
-   floor, the regression gate for inference *quality*. The artifact is
-   read through the obs read side (Obs.Run_diff flattens it into named
-   series), so these gates and `bdrmap obs diff` agree on what a series
-   is called and what it contains. *)
+   floor, the regression gate for inference *quality*. The serve rows
+   must show the query server sustaining its throughput floor with a
+   sane latency ordering and a near-zero steady-state allocation rate —
+   the regression gate for the query hot loop staying allocation-free.
+   The artifact is read through the obs read side (Obs.Run_diff
+   flattens it into named series), so these gates and `bdrmap obs diff`
+   agree on what a series is called and what it contains. *)
 
 let fail fmt =
   Printf.ksprintf (fun m -> prerr_endline ("check_bench: " ^ m); exit 1) fmt
@@ -21,6 +24,19 @@ let fail fmt =
    (boxed floats from the Gc stat calls themselves) means the packed
    representation regressed to heap-visible storage. *)
 let warm_sweep_major_budget = 50_000
+
+(* Floors for the query-server rows. The batch-512 row sustains several
+   million lookups/sec on the bench box; the floor is set an order of
+   magnitude below the observed rate so it catches a real regression
+   (a boxing bug or per-query allocation re-appearing costs 10x-100x),
+   not scheduler noise on a loaded CI machine. Allocation is gated per
+   frame: the server allocates a bounded constant per request (metrics
+   recording), and the per-query path contributes nothing — so
+   words/query x batch must stay under one frame's budget at both
+   batch sizes. At batch 512 that bound also forces the amortized
+   per-query rate under ~0.2 words. *)
+let serve_qps_floor = 250_000.0
+let serve_frame_words_budget = 100.0
 
 let has_suffix suffix name =
   let n = String.length name and m = String.length suffix in
@@ -39,8 +55,8 @@ let () =
   in
   if run.Obs.Run_diff.kind <> Obs.Run_diff.Bench then
     fail "%s parsed, but not as a BENCH.json" path;
-  if run.Obs.Run_diff.schema <> "bdrmap-bench/8" then
-    fail "schema is %S, not bdrmap-bench/8" run.Obs.Run_diff.schema;
+  if run.Obs.Run_diff.schema <> "bdrmap-bench/9" then
+    fail "schema is %S, not bdrmap-bench/9" run.Obs.Run_diff.schema;
   let series = run.Obs.Run_diff.series in
   let get name = List.assoc_opt name series in
   let geti name = Option.map (fun f -> int_of_float f) (get name) in
@@ -138,8 +154,45 @@ let () =
         fail "corpus scenario %S: router accuracy %.2f%% fell below its floor %.2f%%"
           s (f "routers_pct") (f "routers_floor"))
     scenarios;
+  (* Query-server rows: sustained throughput, sane latency ordering,
+     and the steady-state allocation rate the zero-alloc hot loop is
+     supposed to hold. *)
+  let serve_field row field =
+    match get (Printf.sprintf "serve.%s.%s" row field) with
+    | Some v -> v
+    | None -> fail "serve row %S lacks field %S (did the load run?)" row field
+  in
+  let serve_qps =
+    List.map
+      (fun row ->
+        if serve_field row "queries" <= 0.0 then
+          fail "serve row %S recorded zero queries" row;
+        let p50 = serve_field row "rtt_p50_us"
+        and p99 = serve_field row "rtt_p99_us" in
+        if p50 > p99 then
+          fail "serve row %S: rtt p50 %.1fus exceeds p99 %.1fus" row p50 p99;
+        let frame_words =
+          serve_field row "minor_words_per_query" *. serve_field row "batch"
+        in
+        if frame_words > serve_frame_words_budget then
+          fail
+            "serve row %S allocates %.1f minor words/frame (budget %.0f): the \
+             query hot loop is no longer allocation-free"
+            row frame_words serve_frame_words_budget;
+        serve_field row "qps")
+      [ "owner-batch512"; "owner-batch1" ]
+  in
+  (match serve_qps with
+  | batched :: _ when batched < serve_qps_floor ->
+    fail "serve owner-batch512 sustained %.0f qps, below the %.0f floor" batched
+      serve_qps_floor
+  | _ -> ());
   Printf.printf
     "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes, warm \
-     sweep within %d major-word budget, %d corpus scenarios above their floors)\n"
+     sweep within %d major-word budget, %d corpus scenarios above their floors, \
+     serve at %s qps)\n"
     builds (sweeps + crossing) attaches vp_computes warm_sweep_major_budget
     (List.length scenarios)
+    (match serve_qps with
+    | batched :: _ -> Printf.sprintf "%.0f" batched
+    | [] -> "?")

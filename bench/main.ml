@@ -94,8 +94,9 @@ let experiments pool =
         (Experiments.Exp_runtime.run ~scale ()));
   banner "5.8: resource-limited deployment";
   timed "resource" (fun () ->
-      Experiments.Exp_resource.print Format.std_formatter
-        (Experiments.Exp_resource.run ~scale ?pool ()));
+      match Experiments.Exp_resource.run ~scale ?pool () with
+      | Ok t -> Experiments.Exp_resource.print Format.std_formatter t
+      | Error e -> failwith (Experiments.Exp_resource.error_to_string e));
   banner "Baseline comparison (3)";
   timed "baselines" (fun () ->
       Experiments.Exp_baselines.print Format.std_formatter
@@ -235,6 +236,52 @@ let scale3_snapshot () =
   if cold <> warm then
     Printf.printf "WARNING: sweep checksum drifted (%d vs %d)\n%!" cold warm;
   Printf.printf "query sweep checksum %d over %d words\n%!" warm (np * na)
+
+(* Query-server throughput over the merged border map, at a fixed
+   scale-0.15 small_access world (independent of BDRMAP_BENCH_SCALE so
+   the rows are comparable across runs): the all-VP inference is
+   merged, packed into a map artifact, indexed into a query map, and
+   the load generator drives batched owner lookups over a Unix-domain
+   socket against a server on its own domain. The batch-512 row is the
+   throughput headline; the batch-1 row is per-frame round-trip
+   latency. check_bench gates sustained qps, p50 <= p99 ordering, and
+   the steady-state minor-GC words per query staying near zero — the
+   regression gate for the query hot loop staying allocation-free. *)
+let serve_rows : Serve.Bench_load.result list ref = ref []
+
+let serve_bench () =
+  banner "Query server: batched owner lookups over the merged border map";
+  let qmap =
+    timed "serve-build" (fun () ->
+        let w =
+          Topogen.Gen.generate (Topogen.Scenario.small_access ~scale:0.15 ())
+        in
+        let shared = Bdrmap.Pipeline.freeze_routing w in
+        let snapshot = shared.Bdrmap.Pipeline.snapshot in
+        let bgp = Routing.Bgp.of_snapshot snapshot in
+        let inputs = Bdrmap.Pipeline.inputs_of_world w bgp in
+        let vps = w.Topogen.Gen.vps in
+        let runs = Bdrmap.Pipeline.execute_all ~shared w inputs ~vps in
+        let merged =
+          Bdrmap.Aggregate.merge_runs
+            (List.map2
+               (fun (vp : Topogen.Gen.vp) (r : Bdrmap.Pipeline.run) ->
+                 ( vp.Topogen.Gen.vp_name,
+                   r.Bdrmap.Pipeline.graph,
+                   r.Bdrmap.Pipeline.inference ))
+               vps runs)
+        in
+        let mapfile =
+          Bdrmap.Mapfile.make ~host_asns:w.Topogen.Gen.siblings ~bgp merged
+        in
+        Serve.Qmap.build ~snapshot mapfile)
+  in
+  List.iter
+    (fun batch ->
+      let r = Serve.Bench_load.run ~batch ~seconds:0.5 qmap in
+      Serve.Bench_load.print Format.std_formatter r;
+      serve_rows := r :: !serve_rows)
+    [ 512; 1 ]
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the pipeline stages.                            *)
@@ -443,6 +490,20 @@ let write_bench_json path =
     Printf.sprintf "  \"stages\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row (Obs.Manifest.stages !obs_snapshot)))
   in
+  let serve_block =
+    let row (r : Serve.Bench_load.result) =
+      Printf.sprintf
+        "    {\"name\": \"owner-batch%d\", \"batch\": %d, \"queries\": %d, \
+         \"qps\": %.0f, \"rtt_p50_us\": %.2f, \"rtt_p99_us\": %.2f, \
+         \"minor_words_per_query\": %.4f, \"wall_s\": %.6f}"
+        r.Serve.Bench_load.batch r.Serve.Bench_load.batch
+        r.Serve.Bench_load.queries r.Serve.Bench_load.qps
+        r.Serve.Bench_load.rtt_p50_us r.Serve.Bench_load.rtt_p99_us
+        r.Serve.Bench_load.minor_words_per_query r.Serve.Bench_load.wall_s
+    in
+    Printf.sprintf "  \"serve\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row (List.rev !serve_rows)))
+  in
   let metrics_block =
     let row (name, v) =
       match v with
@@ -467,9 +528,9 @@ let write_bench_json path =
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/8\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
-    scale jobs experiments_block robustness_block corpus_block stages_block
-    metrics_block
+    "{\n  \"schema\": \"bdrmap-bench/9\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    scale jobs experiments_block robustness_block corpus_block serve_block
+    stages_block metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -491,6 +552,7 @@ let () =
     store_comparison None;
     snapshot_comparison ();
     scale3_snapshot ();
+    serve_bench ();
     snapshot_obs ();
     micro ();
     finish ()
@@ -505,6 +567,7 @@ let () =
         store_comparison pool;
         snapshot_comparison ();
         scale3_snapshot ();
+        serve_bench ();
         snapshot_obs ();
         micro ();
         finish ())

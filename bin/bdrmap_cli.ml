@@ -318,15 +318,16 @@ let pick_vp (world : Gen.world) i =
       (Printf.sprintf "vp index %d out of range (%d VPs)" i (List.length world.vps))
 
 (* run --all-vps: the deployed-system mode — every VP's pipeline on the
-   domain pool, merged into one network-wide border map. *)
-let run_all_vps world inputs store pool =
+   domain pool, merged into one network-wide border map. Returns the
+   merged map so `serve` can index it. *)
+let run_all_vps ?shared world inputs store pool =
   let vps = world.Gen.vps in
   let domains = match pool with Some p -> Netcore.Pool.size p | None -> 1 in
   Printf.printf "running bdrmap from %d VPs on %d domain%s...\n%!" (List.length vps)
     domains
     (if domains = 1 then "" else "s");
   let t0 = Unix.gettimeofday () in
-  let runs = Bdrmap.Pipeline.execute_all ?pool ?store world inputs ~vps in
+  let runs = Bdrmap.Pipeline.execute_all ?pool ?store ?shared world inputs ~vps in
   let merged =
     Bdrmap.Aggregate.merge_runs ?pool
       (List.map2
@@ -352,7 +353,8 @@ let run_all_vps world inputs store pool =
   in
   Printf.printf "cumulative links by #VPs:";
   List.iter (Printf.printf " %d") mu;
-  print_newline ()
+  print_newline ();
+  merged
 
 (* run: the full pipeline, with validation and Table-1 reporting. *)
 let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs store_dir obs =
@@ -368,7 +370,8 @@ let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs store_dir o
       let params = params_of scenario scale seed in
       let world, _engine, inputs = setup_env params in
       let store = open_store store_dir in
-      if all_vps then with_jobs jobs (run_all_vps world inputs store)
+      if all_vps then
+        with_jobs jobs (fun pool -> ignore (run_all_vps world inputs store pool))
       else begin
         let vp = pick_vp world vp_idx in
         Printf.printf "running bdrmap from %s...\n%!" vp.Gen.vp_name;
@@ -378,7 +381,11 @@ let run (scenario_name, scenario) scale seed vp_idx out all_vps jobs store_dir o
         let r =
           match Bdrmap.Pipeline.execute_all ?store world inputs ~vps:[ vp ] with
           | [ r ] -> r
-          | _ -> assert false
+          | runs ->
+            prerr_endline
+              (Printf.sprintf "bdrmap: run: expected 1 pipeline run for 1 VP, got %d"
+                 (List.length runs));
+            exit 124
         in
         Format.printf "%a@." Probesim.Scheduler.pp r.collection.sched;
         let t1 =
@@ -500,6 +507,233 @@ let experiments scale names jobs store_dir obs =
               Obs.Log.info "experiment %s" n;
               f ())
             chosen))
+
+(* ------------------------------------------------------------------ *)
+(* serve / query / serve-bench: the query service over the inferred    *)
+(* border map (ROADMAP open item 1 — the paper's continuously          *)
+(* maintained, operator-queryable artifact).                           *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let map_in_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "map" ] ~docv:"FILE"
+        ~doc:
+          "Serve a border map previously saved with --save-map instead of \
+           re-running the inference pipeline (the routing snapshot is still \
+           rebuilt from the scenario).")
+
+let save_map_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-map" ] ~docv:"FILE"
+        ~doc:"Save the merged border map artifact to $(docv) before serving.")
+
+(* Build the query map a server answers from: frozen routing snapshot
+   plus the all-VP merged border map (computed, or loaded from a saved
+   artifact). *)
+let build_qmap (world : Gen.world) store pool map_in save_map =
+  let shared = Bdrmap.Pipeline.freeze_routing ?store world in
+  let snapshot = shared.Bdrmap.Pipeline.snapshot in
+  let mapfile =
+    match map_in with
+    | Some path -> (
+      match Bdrmap.Mapfile.load path with
+      | Ok mf ->
+        Printf.printf "loaded border map %s: %d links, %d origin prefixes\n%!" path
+          (List.length mf.Bdrmap.Mapfile.merged)
+          (List.length mf.Bdrmap.Mapfile.origins);
+        mf
+      | Error e ->
+        prerr_endline
+          (Printf.sprintf "bdrmap: serve: %s: %s" path (Bdrmap.Mapfile.error_label e));
+        exit 124)
+    | None ->
+      let bgp = Routing.Bgp.of_snapshot snapshot in
+      let inputs = Bdrmap.Pipeline.inputs_of_world world bgp in
+      let merged = run_all_vps ~shared world inputs store pool in
+      Bdrmap.Mapfile.make ~host_asns:world.Gen.siblings ~bgp merged
+  in
+  Option.iter
+    (fun path ->
+      Bdrmap.Mapfile.save path mapfile;
+      Printf.printf "saved border map to %s\n%!" path)
+    save_map;
+  Serve.Qmap.build ~snapshot mapfile
+
+let serve (scenario_name, scenario) scale seed jobs store_dir socket map_in save_map
+    obs =
+  let config =
+    config_string ~command:"serve" ~scenario:scenario_name ~scale ~seed ~jobs
+      [ ("socket", socket) ]
+  in
+  with_obs obs ~command:"serve" ~scale ~jobs ?seed ~config (fun () ->
+      let params = params_of scenario scale seed in
+      let world = Gen.generate params in
+      let store = open_store store_dir in
+      let qmap =
+        with_jobs jobs (fun pool -> build_qmap world store pool map_in save_map)
+      in
+      (* The exposition served on the METRICS opcode: a manifest
+         rendered from the live metric shards, converted through the
+         existing OpenMetrics pipeline. *)
+      let exposition () =
+        let text =
+          Obs.Manifest.render ~command:"serve" ~scale ~jobs:(resolve_jobs jobs) ?seed
+            ~config ()
+        in
+        match Obs.Json.parse text with
+        | Error _ -> "# EOF\n"
+        | Ok j -> (
+          match Obs.Openmetrics.of_manifest j with
+          | Ok t -> t
+          | Error _ -> "# EOF\n")
+      in
+      let server = Serve.Server.create ~exposition ~path:socket qmap in
+      let stop_on _ = Serve.Server.stop server in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on);
+      Printf.printf "serving border map on %s (%d border addresses, host AS%d)\n%!"
+        socket
+        (Serve.Qmap.border_count qmap)
+        (Serve.Qmap.host_asn qmap);
+      Serve.Server.run server;
+      let st = Serve.Server.stats server in
+      Printf.printf
+        "served %d queries in %d requests over %d connections (%d errors)\n"
+        st.Serve.Server.queries st.Serve.Server.requests st.Serve.Server.connections
+        st.Serve.Server.errors)
+
+(* query: one-shot client over a running server's socket. *)
+let query socket args =
+  let fail msg =
+    prerr_endline ("bdrmap: query: " ^ msg);
+    exit 124
+  in
+  let addr_of s =
+    match Netcore.Ipv4.of_string s with
+    | Some a -> a
+    | None -> fail (Printf.sprintf "invalid address %S" s)
+  in
+  let asn_of s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | _ -> fail (Printf.sprintf "invalid ASN %S" s)
+  in
+  match Serve.Client.connect socket with
+  | Error e -> fail (Printf.sprintf "%s: %s" socket (Serve.Protocol.error_label e))
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        let check = function
+          | Ok v -> v
+          | Error e -> fail (Serve.Protocol.error_label e)
+        in
+        match args with
+        | "owner" :: addrs when addrs <> [] ->
+          let addrs = List.map addr_of addrs in
+          let owners = check (Serve.Client.owner_batch c addrs) in
+          List.iter2
+            (fun a asn ->
+              if asn = 0 then Printf.printf "%s unknown\n" (Netcore.Ipv4.to_string a)
+              else Printf.printf "%s AS%d\n" (Netcore.Ipv4.to_string a) asn)
+            addrs owners
+        | [ "crossings"; a; b ] ->
+          let lines = check (Serve.Client.crossings c (asn_of a) (asn_of b)) in
+          if lines = [] then Printf.printf "no crossings between %s and %s\n" a b
+          else List.iter print_endline lines
+        | [ "provenance"; addr ] -> (
+          match check (Serve.Client.provenance c (addr_of addr)) with
+          | Some line -> print_endline line
+          | None -> Printf.printf "%s unknown\n" addr)
+        | [ "stats" ] ->
+          let s = check (Serve.Client.stats c) in
+          Printf.printf "queries %d\nrequests %d\nconnections %d\nerrors %d\n"
+            s.Serve.Client.queries s.Serve.Client.requests s.Serve.Client.connections
+            s.Serve.Client.errors
+        | [ "metrics" ] -> print_string (check (Serve.Client.metrics_text c))
+        | _ ->
+          fail
+            "expected: owner ADDR [ADDR...] | crossings ASN ASN | provenance ADDR \
+             | stats | metrics")
+
+let serve_bench (scenario_name, scenario) scale seed jobs store_dir batch seconds obs
+    =
+  let config =
+    config_string ~command:"serve-bench" ~scenario:scenario_name ~scale ~seed ~jobs
+      [ ("batch", string_of_int batch) ]
+  in
+  with_obs obs ~command:"serve-bench" ~scale ~jobs ?seed ~config (fun () ->
+      let params = params_of scenario scale seed in
+      let world = Gen.generate params in
+      let store = open_store store_dir in
+      let qmap =
+        with_jobs jobs (fun pool -> build_qmap world store pool None None)
+      in
+      let r = Serve.Bench_load.run ~batch ~seconds qmap in
+      Serve.Bench_load.print Format.std_formatter r)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the border-map query server: infer (or load) the all-VP merged \
+          map, freeze the routing snapshot, and answer owner/crossings/\
+          provenance queries over a Unix-domain socket until SIGTERM.")
+    Term.(
+      const serve $ scenario_arg $ scale_arg $ seed_arg $ jobs_arg $ store_term
+      $ socket_arg $ map_in_arg $ save_map_arg $ obs_term)
+
+let query_cmd =
+  let args_pos =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "owner ADDR [ADDR...] | crossings ASN ASN | provenance ADDR | stats \
+             | metrics")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a running border-map server.")
+    Term.(const query $ socket_arg $ args_pos)
+
+let serve_bench_cmd =
+  let batch_arg =
+    let batch_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 && (n * 4) + 1 <= Serve.Protocol.max_frame -> Ok n
+        | Some n -> Error (`Msg (Printf.sprintf "batch out of range: %d" n))
+        | None -> Error (`Msg (Printf.sprintf "invalid batch %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(
+      value & opt batch_conv 512
+      & info [ "batch" ] ~docv:"N" ~doc:"Owner queries per request frame.")
+  in
+  let seconds_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "seconds" ] ~docv:"S" ~doc:"Timed window length.")
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Measure the query server: spin it up in-process, drive batched owner \
+          lookups, report qps, round-trip latency quantiles and server-side \
+          minor-GC words per query.")
+    Term.(
+      const serve_bench $ scenario_arg $ scale_arg $ seed_arg $ jobs_arg
+      $ store_term $ batch_arg $ seconds_arg $ obs_term)
 
 let generate_cmd =
   Cmd.v
@@ -737,6 +971,7 @@ let main =
   Cmd.group
     (Cmd.info "bdrmap_cli" ~version:"1.0.0"
        ~doc:"bdrmap: inference of borders between IP networks (IMC 2016) on a simulated Internet.")
-    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd; store_cmd; obs_cmd ]
+    [ generate_cmd; run_cmd; infer_cmd; experiments_cmd; serve_cmd; query_cmd;
+      serve_bench_cmd; store_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval main)

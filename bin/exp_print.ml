@@ -25,8 +25,11 @@ let runtime scale =
     (Experiments.Exp_runtime.run ~scale ())
 
 let resource ?pool ?store scale =
-  Experiments.Exp_resource.print Format.std_formatter
-    (Experiments.Exp_resource.run ~scale ?pool ?store ())
+  match Experiments.Exp_resource.run ~scale ?pool ?store () with
+  | Ok t -> Experiments.Exp_resource.print Format.std_formatter t
+  | Error e ->
+    prerr_endline ("bdrmap: " ^ Experiments.Exp_resource.error_to_string e);
+    exit 124
 
 let ablation scale =
   Experiments.Exp_ablation.print Format.std_formatter

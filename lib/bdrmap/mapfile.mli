@@ -1,0 +1,51 @@
+(** Serialization of the served border-map artifact: the all-VP merged
+    link set plus the origin view a query server needs to answer
+    [owner]/[crossings]/[provenance] without re-running the pipeline.
+
+    Entries follow the [lib/store] header discipline:
+
+    {v
+      offset  size  field
+      0       4     magic "BDMF"
+      4       4     codec version (big-endian)
+      8       16    MD5 digest of the payload
+      24      8     payload length (big-endian)
+      32      n     payload
+    v}
+
+    The payload is the marshalled {!t} — boxed metadata only, no packed
+    arenas (the routing snapshot travels separately through
+    {!Routing.Bgp.Snapshot.to_bytes}). Decoding validates magic,
+    version, declared length and digest before unmarshalling, so a
+    flipped byte is a typed {!decode_error}, never a [Marshal] crash. *)
+
+open Netcore
+
+type t = {
+  host_asns : Asn.Set.t;  (** the hosting org's ASes (world siblings) *)
+  origins : (Prefix.t * Asn.t) list;
+      (** canonical origin per originated prefix (min ASN of the MOAS
+          set), in {!Prefix.compare} order *)
+  merged : Aggregate.merged list;  (** the all-VP merged border map *)
+}
+
+(** [make ~host_asns ~bgp merged] assembles the artifact, deriving
+    [origins] from [bgp]'s originated prefixes. *)
+val make : host_asns:Asn.Set.t -> bgp:Routing.Bgp.t -> Aggregate.merged list -> t
+
+type decode_error = Truncated | Bad_magic | Bad_version of int | Corrupt
+
+val error_label : decode_error -> string
+
+(** Current serialization format version (bump on layout change). *)
+val codec_version : int
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> (t, decode_error) result
+
+(** [save path t] writes atomically (temp file + rename, store-style):
+    a killed writer leaves the previous file or nothing, never a torn
+    artifact. *)
+val save : string -> t -> unit
+
+val load : string -> (t, decode_error) result

@@ -6,16 +6,32 @@ type t = {
   split_fits_whitebox : bool;
 }
 
+type error = { stage : string; detail : string }
+
+let error_to_string e = Printf.sprintf "resource experiment failed at %s: %s" e.stage e.detail
+
+let ( let* ) = Result.bind
+
 let run ?(scale = 1.0) ?pool ?store () =
   let env = Exp_common.make (Topogen.Scenario.large_access ~scale ()) in
-  let vp = List.hd env.Exp_common.world.Topogen.Gen.vps in
+  let* vp =
+    match env.Exp_common.world.Topogen.Gen.vps with
+    | vp :: _ -> Ok vp
+    | [] -> Error { stage = "generate"; detail = "world has no vantage points" }
+  in
   (* Footprints are sized from a real collection run; going through
      execute_all gives the run a private engine so the numbers do not
      depend on what other experiments probed before us. *)
-  let r =
+  let* r =
+    (* The pipeline contract is one run per requested VP; anything else
+       here means the sweep dropped or duplicated data, which we surface
+       as a typed error rather than an assertion crash. *)
     match Exp_common.run_vps ?pool ?store env [ vp ] with
-    | [ r ] -> r
-    | _ -> assert false
+    | [ r ] -> Ok r
+    | runs ->
+      Error
+        { stage = "vp-sweep";
+          detail = Printf.sprintf "expected 1 run for 1 VP, got %d" (List.length runs) }
   in
   let c = r.Bdrmap.Pipeline.collection in
   let trace_hops =
@@ -40,12 +56,13 @@ let run ?(scale = 1.0) ?pool ?store () =
   in
   let standalone = Probesim.Remote.footprint Probesim.Remote.Standalone inputs in
   let split = Probesim.Remote.footprint Probesim.Remote.Split inputs in
-  { inputs;
-    standalone;
-    split;
-    standalone_fits_whitebox =
-      Probesim.Remote.fits ~ram_bytes:Probesim.Remote.whitebox_ram standalone;
-    split_fits_whitebox = Probesim.Remote.fits ~ram_bytes:Probesim.Remote.whitebox_ram split }
+  Ok
+    { inputs;
+      standalone;
+      split;
+      standalone_fits_whitebox =
+        Probesim.Remote.fits ~ram_bytes:Probesim.Remote.whitebox_ram standalone;
+      split_fits_whitebox = Probesim.Remote.fits ~ram_bytes:Probesim.Remote.whitebox_ram split }
 
 let print ppf t =
   Format.fprintf ppf "== Experiment R2: resource-limited deployment (5.8) ==@.";

@@ -12,5 +12,15 @@ type t = {
   split_fits_whitebox : bool;
 }
 
-val run : ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> t
+(** Why the experiment could not produce a footprint: [stage] names the
+    phase that failed ("generate", "vp-sweep"), [detail] says what went
+    wrong. Reachable from data (e.g. a zero-VP world), so it is a typed
+    error rather than an assertion. *)
+type error = { stage : string; detail : string }
+
+val error_to_string : error -> string
+
+val run :
+  ?scale:float -> ?pool:Netcore.Pool.t -> ?store:Store.t -> unit -> (t, error) result
+
 val print : Format.formatter -> t -> unit

@@ -144,7 +144,14 @@ let parse s =
         let fields = ref [] in
         let rec members () =
           skip_ws ();
+          let kpos = !pos in
           let key = parse_string () in
+          (* Our emitters never repeat a key, so a duplicate means the
+             document is corrupt (e.g. a clobbered manifest); surface it
+             instead of silently letting [member]'s first-wins hide the
+             second binding. *)
+          if List.exists (fun (k, _) -> String.equal k key) !fields then
+            fail kpos (Printf.sprintf "duplicate object key %S" key);
           skip_ws ();
           expect ':';
           let v = parse_value () in

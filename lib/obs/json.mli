@@ -7,10 +7,14 @@
     verbatim, field order preserved), so a parse/re-render round trip
     of our own output is byte-identical.
 
-    This is deliberately not a general JSON library: numbers outside
-    the int range degrade to floats, and [\u] escapes beyond U+00FF are
-    stored via a two-byte encoding (our emitters never produce them).
-    Parsing never raises; malformed input yields a typed {!error}. *)
+    This is deliberately not a general JSON library, and two edge
+    behaviors are pinned down (and tested) rather than left to chance:
+    integer numerals outside OCaml's [int] range degrade to [Float]
+    (never silently wrap), and a duplicate key inside one object is a
+    parse {!error} naming the key (never first- or last-wins). [\u]
+    escapes beyond U+00FF are stored via a two-byte encoding (our
+    emitters never produce them). Parsing never raises; malformed input
+    yields a typed {!error}. *)
 
 type t =
   | Null

@@ -18,12 +18,20 @@ let contains ~sub s =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-(* Wall-clock, GC deltas and micro-benchmark estimates move run to run
-   on an otherwise identical workload; everything else is a pure
-   function of the configuration. *)
+(* Wall-clock, GC deltas, micro-benchmark estimates and the query-server
+   load rows (throughput, round-trip latency, per-query allocation,
+   query counts — all functions of a timed window) move run to run on an
+   otherwise identical workload; everything else is a pure function of
+   the configuration. *)
 let volatile_series name =
   contains ~sub:"wall" name || contains ~sub:"gc_" name
   || contains ~sub:"ns_per_run" name || contains ~sub:"created_unix" name
+  || contains ~sub:"qps" name || contains ~sub:"rtt_" name
+  || contains ~sub:"per_query" name || contains ~sub:".queries" name
+
+(* Throughput runs the other way from every other volatile series:
+   higher is better, so the ratio test compares the inverted pair. *)
+let inverted_series name = contains ~sub:"qps" name
 
 (* Absolute noise floors under which a volatile ratio blow-up is not a
    regression (a 1us stage doubling to 2us is scheduler noise, not a
@@ -33,6 +41,9 @@ let noise_floor name =
   else if contains ~sub:"wall_ns" name then 5e6
   else if contains ~sub:"ns_per_run" name then 100.0
   else if contains ~sub:"gc_" name then 10_000.0
+  else if contains ~sub:"rtt_" name then 25.0 (* us; sub-25us RTTs are all noise *)
+  else if contains ~sub:"per_query" name then 2.0 (* amortized metrics words *)
+  else if contains ~sub:"qps" name then 50_000.0
   else 0.0
 
 (* ------------------------------------------------------------------ *)
@@ -113,6 +124,7 @@ let bench_series json =
   rows "experiments" ~name_of:(str_field "name") ~prefix:"experiment";
   rows "stages" ~name_of:(str_field "stage") ~prefix:"stage";
   rows "corpus" ~name_of:(str_field "scenario") ~prefix:"corpus";
+  rows "serve" ~name_of:(str_field "name") ~prefix:"serve";
   rows "micro" ~name_of:(str_field "name") ~prefix:"micro";
   rows "metrics" ~name_of:(str_field "name") ~prefix:"metric";
   rows "robustness"
@@ -175,8 +187,11 @@ let diff ?(wall_ratio = 1.5) ?(rel = 0.0) a b =
       | None -> push name av nan Missing
       | Some bv ->
         if volatile_series name then begin
-          if bv > (av *. wall_ratio) +. noise_floor name then push name av bv Regression
-          else if av > (bv *. wall_ratio) +. noise_floor name then
+          (* [x] is the "worse if bigger" side: run B for cost series,
+             run A for inverted (throughput) series. *)
+          let x, y = if inverted_series name then (av, bv) else (bv, av) in
+          if x > (y *. wall_ratio) +. noise_floor name then push name av bv Regression
+          else if y > (x *. wall_ratio) +. noise_floor name then
             push name av bv Improvement
         end
         else if

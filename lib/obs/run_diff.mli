@@ -3,13 +3,15 @@
 
     Both artifacts flatten into named numeric series
     ([stage.<s>.wall_s], [metric.<name>], [experiment.<n>.wall_s],
-    [corpus.<scenario>.links_pct], ...). A {!diff} then compares series
-    present in both runs:
+    [corpus.<scenario>.links_pct], [serve.<row>.qps], ...). A {!diff}
+    then compares series present in both runs:
 
-    - {e volatile} series (wall-clock, GC deltas, ns/run estimates)
+    - {e volatile} series (wall-clock, GC deltas, ns/run estimates,
+      query-server throughput/latency/allocation rows)
       regress only when run B exceeds run A by the [wall_ratio]
       multiplier {e and} an absolute per-unit noise floor — identical
-      or merely jittery runs never fail;
+      or merely jittery runs never fail. Throughput ([qps]) series are
+      direction-inverted: a drop regresses, a gain improves;
     - every other series is a pure function of the configuration and
       must match exactly (or within [rel], for cross-config diffs);
     - a series present in A but absent in B is {!Missing} — schema or

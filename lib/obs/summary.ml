@@ -16,7 +16,12 @@ let bucket_width = 10.0 ** 0.25
 let bucket_upper lo = if lo <= 0.0 then 1e-9 else lo *. bucket_width
 
 let percentile_of_buckets ~count buckets q =
-  if count <= 0 || buckets = [] then None
+  (* A positive [count] with all-zero bucket populations is an
+     inconsistent histogram (e.g. hand-built or truncated on re-parse);
+     without this guard the walk would fall off the end and report the
+     last bucket's edge as every percentile. *)
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if count <= 0 || total <= 0 then None
   else begin
     let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
     let rank = q *. float_of_int count in

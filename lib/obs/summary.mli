@@ -21,8 +21,10 @@ val bucket_upper : float -> float
 
 (** [percentile_of_buckets ~count buckets q] estimates the [q]-quantile
     ([0..1], clamped) from non-empty [(lower_bound, count)] buckets in
-    ascending order totalling [count] observations. [None] iff the
-    histogram is empty. *)
+    ascending order totalling [count] observations. [None] when the
+    histogram carries no mass — [count <= 0] {e or} every bucket
+    population is zero (an inconsistent histogram never yields a bogus
+    edge value). *)
 val percentile_of_buckets : count:int -> (float * int) list -> float -> float option
 
 val quantiles_of_buckets : count:int -> (float * int) list -> quantiles option

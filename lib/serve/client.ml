@@ -1,0 +1,210 @@
+open Netcore
+
+type t = {
+  fd : Unix.file_descr;
+  wb : Protocol.wbuf;
+  mutable rbuf : Bytes.t;  (* response payload staging, grown on demand *)
+  hdr : Bytes.t;  (* 4-byte length prefix staging *)
+}
+
+type stats = { queries : int; requests : int; connections : int; errors : int }
+type gc_stat = { minor_words : int; queries_total : int }
+
+let ( let* ) = Result.bind
+
+(* Read exactly [n] bytes into [buf]; Error Truncated on EOF or any
+   socket error (the peer is gone either way). *)
+let read_exact fd buf n =
+  let off = ref 0 in
+  let ok = ref true in
+  while !ok && !off < n do
+    match Unix.read fd buf !off (n - !off) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> ok := false
+    | 0 -> ok := false
+    | k -> off := !off + k
+  done;
+  if !ok then Ok () else Error Protocol.Truncated
+
+let write_all fd buf len =
+  let off = ref 0 in
+  let ok = ref true in
+  while !ok && !off < len do
+    match Unix.write fd buf !off (len - !off) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> ok := false
+    | k -> off := !off + k
+  done;
+  if !ok then Ok () else Error Protocol.Truncated
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let connect path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> Error Protocol.Truncated
+  | fd -> (
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error Protocol.Truncated
+    | () ->
+      let g = Bytes.create Protocol.greeting_len in
+      let fail e =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error e
+      in
+      (match read_exact fd g Protocol.greeting_len with
+      | Error e -> fail e
+      | Ok () ->
+        if Bytes.sub_string g 0 4 <> Protocol.magic then fail Protocol.Bad_magic
+        else
+          let v = Protocol.get_u16 g 4 in
+          if v <> Protocol.version then fail (Protocol.Bad_version v)
+          else
+            Ok
+              { fd;
+                wb = Protocol.wbuf_create 65536;
+                rbuf = Bytes.create 65536;
+                hdr = Bytes.create 4 }))
+
+(* Send the frame staged in [t.wb], read the response payload into
+   [t.rbuf] and return its length. Validates the response status byte;
+   a status-1 payload decodes into [Server_error]. *)
+let round_trip t =
+  let* () = write_all t.fd t.wb.Protocol.buf t.wb.Protocol.len in
+  let* () = read_exact t.fd t.hdr 4 in
+  let len = Protocol.get_u32 t.hdr 0 in
+  if len > Protocol.max_frame then Error (Protocol.Oversized len)
+  else if len < 1 then Error (Protocol.Malformed "empty response")
+  else begin
+    if Bytes.length t.rbuf < len then t.rbuf <- Bytes.create len;
+    let* () = read_exact t.fd t.rbuf len in
+    let status = Protocol.get_u8 t.rbuf 0 in
+    if status = 0 then Ok len
+    else if len >= 4 then begin
+      let code = Protocol.get_u8 t.rbuf 1 in
+      let mlen = Protocol.get_u16 t.rbuf 2 in
+      if 4 + mlen > len then Error (Protocol.Malformed "error message length")
+      else
+        Error
+          (Protocol.Server_error { code; message = Bytes.sub_string t.rbuf 4 mlen })
+    end
+    else Error (Protocol.Malformed "short error response")
+  end
+
+let begin_frame t op =
+  Protocol.wbuf_clear t.wb;
+  Protocol.put_u32 t.wb 0;
+  Protocol.put_u8 t.wb op
+
+let finish_frame t = Protocol.patch_u32 t.wb 0 (t.wb.Protocol.len - 4)
+
+let owner_batch_into t ~addrs ~n ~out =
+  if n < 0 || n > Array.length addrs || n > Array.length out then
+    Error (Protocol.Malformed "owner batch bounds")
+  else begin
+    begin_frame t Protocol.op_owner;
+    Protocol.wbuf_reserve t.wb (4 * n);
+    for i = 0 to n - 1 do
+      Protocol.put_u32 t.wb (Array.unsafe_get addrs i)
+    done;
+    finish_frame t;
+    let* len = round_trip t in
+    if len <> 1 + (4 * n) then Error (Protocol.Malformed "owner response length")
+    else begin
+      for i = 0 to n - 1 do
+        Array.unsafe_set out i (Protocol.get_u32 t.rbuf (1 + (4 * i)))
+      done;
+      Ok ()
+    end
+  end
+
+let owner_batch t addrs =
+  let arr = Array.of_list (List.map Ipv4.to_int addrs) in
+  let n = Array.length arr in
+  let out = Array.make (max 1 n) 0 in
+  let* () = owner_batch_into t ~addrs:arr ~n ~out in
+  Ok (Array.to_list (Array.sub out 0 n))
+
+let owner t a =
+  match owner_batch t [ a ] with
+  | Ok [ asn ] -> Ok asn
+  | Ok _ -> Error (Protocol.Malformed "owner response arity")
+  | Error e -> Error e
+
+let crossings t a b =
+  begin_frame t Protocol.op_crossings;
+  Protocol.put_u32 t.wb a;
+  Protocol.put_u32 t.wb b;
+  finish_frame t;
+  let* len = round_trip t in
+  if len < 5 then Error (Protocol.Malformed "crossings response length")
+  else begin
+    let count = Protocol.get_u32 t.rbuf 1 in
+    let off = ref 5 in
+    let rec go k acc =
+      if k = 0 then Ok (List.rev acc)
+      else if !off + 2 > len then Error (Protocol.Malformed "crossings line header")
+      else begin
+        let llen = Protocol.get_u16 t.rbuf !off in
+        if !off + 2 + llen > len then Error (Protocol.Malformed "crossings line body")
+        else begin
+          let line = Bytes.sub_string t.rbuf (!off + 2) llen in
+          off := !off + 2 + llen;
+          go (k - 1) (line :: acc)
+        end
+      end
+    in
+    go count []
+  end
+
+let provenance t a =
+  begin_frame t Protocol.op_provenance;
+  Protocol.put_u32 t.wb (Ipv4.to_int a);
+  finish_frame t;
+  let* len = round_trip t in
+  if len < 2 then Error (Protocol.Malformed "provenance response length")
+  else
+    match Protocol.get_u8 t.rbuf 1 with
+    | 0 -> Ok None
+    | 1 ->
+      if len < 4 then Error (Protocol.Malformed "provenance line header")
+      else begin
+        let llen = Protocol.get_u16 t.rbuf 2 in
+        if 4 + llen > len then Error (Protocol.Malformed "provenance line body")
+        else Ok (Some (Bytes.sub_string t.rbuf 4 llen))
+      end
+    | _ -> Error (Protocol.Malformed "provenance found flag")
+
+let stats t =
+  begin_frame t Protocol.op_stats;
+  finish_frame t;
+  let* len = round_trip t in
+  if len <> 33 then Error (Protocol.Malformed "stats response length")
+  else
+    Ok
+      { queries = Protocol.get_u64 t.rbuf 1;
+        requests = Protocol.get_u64 t.rbuf 9;
+        connections = Protocol.get_u64 t.rbuf 17;
+        errors = Protocol.get_u64 t.rbuf 25 }
+
+let metrics_text t =
+  begin_frame t Protocol.op_metrics;
+  finish_frame t;
+  let* len = round_trip t in
+  if len < 5 then Error (Protocol.Malformed "metrics response length")
+  else begin
+    let tlen = Protocol.get_u32 t.rbuf 1 in
+    if 5 + tlen > len then Error (Protocol.Malformed "metrics text length")
+    else Ok (Bytes.sub_string t.rbuf 5 tlen)
+  end
+
+let gc_stat t =
+  begin_frame t Protocol.op_gcstat;
+  finish_frame t;
+  let* len = round_trip t in
+  if len <> 17 then Error (Protocol.Malformed "gcstat response length")
+  else
+    Ok
+      { minor_words = Protocol.get_u64 t.rbuf 1;
+        queries_total = Protocol.get_u64 t.rbuf 9 }

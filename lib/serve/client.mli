@@ -1,0 +1,48 @@
+(** Blocking client for the {!Protocol} wire format.
+
+    Every call is a single request/response round trip; results are
+    typed and failures come back as {!Protocol.error} values (a short
+    read is [Truncated], a wrong greeting [Bad_magic]/[Bad_version], a
+    status-1 response [Server_error]) — never exceptions, mirroring the
+    [lib/store] typed-miss convention.
+
+    {!owner_batch_into} is the load-generator form: addresses in, owner
+    ASNs out through caller-owned [int array]s, with the request and
+    response staged through the connection's reusable buffers — after
+    warmup a polling loop over it allocates nothing on the client side
+    either. *)
+
+open Netcore
+
+type t
+
+val connect : string -> (t, Protocol.error) result
+val close : t -> unit
+
+(** [owner c a] is the operator ASN owning [a]; [0] = unknown. *)
+val owner : t -> Ipv4.t -> (int, Protocol.error) result
+
+val owner_batch : t -> Ipv4.t list -> (int list, Protocol.error) result
+
+(** [owner_batch_into c ~addrs ~n ~out] queries [addrs.(0..n-1)]
+    (address ints) and stores the owners into [out.(0..n-1)].
+    Allocation-free after the first call at a given [n]. *)
+val owner_batch_into :
+  t -> addrs:int array -> n:int -> out:int array -> (unit, Protocol.error) result
+
+val crossings : t -> Asn.t -> Asn.t -> (string list, Protocol.error) result
+val provenance : t -> Ipv4.t -> (string option, Protocol.error) result
+
+type stats = { queries : int; requests : int; connections : int; errors : int }
+
+val stats : t -> (stats, Protocol.error) result
+
+(** The server's OpenMetrics exposition (ends with [# EOF]). *)
+val metrics_text : t -> (string, Protocol.error) result
+
+type gc_stat = { minor_words : int; queries_total : int }
+
+(** Serving-domain GC probe: minor words allocated so far and queries
+    answered — two samples bracket a steady-state words-per-query
+    measurement. *)
+val gc_stat : t -> (gc_stat, Protocol.error) result

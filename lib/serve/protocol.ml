@@ -1,0 +1,98 @@
+let magic = "BDQS"
+let version = 1
+let greeting_len = 6
+let max_frame = 1 lsl 20
+let op_owner = 1
+let op_crossings = 2
+let op_provenance = 3
+let op_stats = 4
+let op_metrics = 5
+let op_gcstat = 6
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Bad_opcode of int
+  | Malformed of string
+  | Server_error of { code : int; message : string }
+
+let error_label = function
+  | Truncated -> "truncated"
+  | Bad_magic -> "bad-magic"
+  | Bad_version v -> Printf.sprintf "bad-version-%d" v
+  | Oversized n -> Printf.sprintf "oversized-%d" n
+  | Bad_opcode op -> Printf.sprintf "bad-opcode-%d" op
+  | Malformed what -> Printf.sprintf "malformed-%s" what
+  | Server_error { code; message } -> Printf.sprintf "server-error-%d (%s)" code message
+
+(* Big-endian reads composed from [Char.code]: each returns an
+   immediate int, so a lookup loop over these never allocates. Bounds
+   are the caller's job (frames are length-checked before decoding). *)
+
+let get_u8 b off = Char.code (Bytes.unsafe_get b off)
+
+let get_u16 b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 8) lor Char.code (Bytes.unsafe_get b (off + 1))
+
+let get_u32 b off =
+  (Char.code (Bytes.unsafe_get b off) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.unsafe_get b (off + 3))
+
+let get_u64 b off = (get_u32 b off lsl 32) lor get_u32 b (off + 4)
+
+let set_u32 b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (v land 0xff))
+
+type wbuf = { mutable buf : Bytes.t; mutable len : int }
+
+let wbuf_create n = { buf = Bytes.create (max 16 n); len = 0 }
+let wbuf_clear b = b.len <- 0
+
+let wbuf_reserve b n =
+  let need = b.len + n in
+  if need > Bytes.length b.buf then begin
+    let cap = ref (Bytes.length b.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit b.buf 0 nb 0 b.len;
+    b.buf <- nb
+  end
+
+let put_u8 b v =
+  wbuf_reserve b 1;
+  Bytes.unsafe_set b.buf b.len (Char.unsafe_chr (v land 0xff));
+  b.len <- b.len + 1
+
+let put_u16 b v =
+  wbuf_reserve b 2;
+  Bytes.unsafe_set b.buf b.len (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set b.buf (b.len + 1) (Char.unsafe_chr (v land 0xff));
+  b.len <- b.len + 2
+
+let put_u32 b v =
+  wbuf_reserve b 4;
+  set_u32 b.buf b.len v;
+  b.len <- b.len + 4
+
+let put_u64 b v =
+  wbuf_reserve b 8;
+  set_u32 b.buf b.len ((v lsr 32) land 0xFFFFFFFF);
+  set_u32 b.buf (b.len + 4) (v land 0xFFFFFFFF);
+  b.len <- b.len + 8
+
+let put_string b s =
+  let n = String.length s in
+  wbuf_reserve b n;
+  Bytes.blit_string s 0 b.buf b.len n;
+  b.len <- b.len + n
+
+let patch_u32 b off v = set_u32 b.buf off v

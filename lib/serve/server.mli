@@ -1,0 +1,69 @@
+(** The long-lived query server: a single-domain [select] loop over a
+    Unix-domain stream socket, answering {!Protocol} frames from a
+    {!Qmap}.
+
+    Design points:
+    - {b Zero-alloc hot path.} Per-connection read and write buffers
+      are reused across frames; {!handle} — the entire per-frame
+      compute — touches only immediate ints and preallocated byte
+      arrays on the owner path, and is exposed here so the
+      [Gc.minor_words]-delta test can pin that.
+    - {b Per-frame instrumentation.} When {!Obs.Metrics} is enabled the
+      loop records [serve.queries_total] / [serve.requests_total] /
+      [serve.errors_total] / [serve.connections_total] counters and a
+      [serve.request_seconds] log-bucket histogram — once per frame,
+      never per query, so instrumentation cannot re-introduce per-query
+      allocation.
+    - {b Clean teardown.} {!stop} is signal-handler safe (one atomic
+      store + a self-pipe write waking the select); however {!run}
+      exits — including on an exception — every connection and the
+      listener are closed and the socket file is unlinked, so a
+      SIGTERM mid-query leaves no stale socket behind. *)
+
+type stats = {
+  mutable queries : int;
+  mutable requests : int;
+  mutable connections : int;
+  mutable errors : int;
+}
+
+(** What {!handle} answers from: the query map, the live counters, the
+    OpenMetrics exposition for {!Protocol.op_metrics} and the
+    minor-words sampler for {!Protocol.op_gcstat} (defaults to this
+    domain's [Gc.minor_words]). *)
+type ctx
+
+val ctx_create :
+  ?exposition:(unit -> string) -> ?minor_words:(unit -> int) -> Qmap.t -> ctx
+
+val ctx_stats : ctx -> stats
+
+(** [handle ctx req ~off ~len wb] decodes the request payload at
+    [req.(off..off+len-1)] and writes the complete response frame
+    (length prefix included) into [wb]. Malformed bodies and unknown
+    opcodes become status-1 error responses, never exceptions. *)
+val handle : ctx -> Bytes.t -> off:int -> len:int -> Protocol.wbuf -> unit
+
+type t
+
+(** [create ~path qmap] binds and listens on the Unix-domain socket at
+    [path], replacing a stale socket file left by a killed predecessor
+    (only ever unlinking sockets — any other file there surfaces as the
+    bind error it is). *)
+val create :
+  ?exposition:(unit -> string) ->
+  ?minor_words:(unit -> int) ->
+  path:string ->
+  Qmap.t ->
+  t
+
+val socket_path : t -> string
+val stats : t -> stats
+
+(** [run t] serves until {!stop}; always tears down (closes every fd,
+    unlinks the socket) on the way out, exception or not. *)
+val run : t -> unit
+
+(** [stop t] wakes and terminates {!run}. Idempotent; safe from a
+    signal handler or another domain. *)
+val stop : t -> unit

@@ -11,7 +11,11 @@ type t
     private ranges. *)
 val create : unit -> t
 
-(** [alloc_block t len] is a fresh /len block. *)
+(** [alloc_block t len] is a fresh /len block. Raises
+    [Invalid_argument] (in {!Gen.validate_params}' fail-fast style) when
+    [len] is outside \[2, 32\] or when no block of that size fits below
+    the multicast boundary — a block ending exactly at 223.255.255.255
+    is the last one handed out. *)
 val alloc_block : t -> int -> Prefix.t
 
 (** A per-AS pool used for interconnect subnets and loopbacks. *)
@@ -23,7 +27,7 @@ val pool_of : Prefix.t -> pool
 val pool_block : pool -> Prefix.t
 
 (** [alloc_subnet pool len] carves a /len (30 or 31 for interconnects);
-    raises [Failure] when the pool is exhausted. *)
+    raises [Invalid_argument] when the pool is exhausted. *)
 val alloc_subnet : pool -> int -> Prefix.t
 
 (** [alloc_addr pool] carves a single /32 (loopback or LAN address). *)

@@ -1,0 +1,114 @@
+(* check-serve: the query service end to end as a golden artifact. A
+   scale-0.15 world's all-VP merged map is served in-process (server on
+   its own domain, metrics enabled), a deterministic scripted batch of
+   owner/crossings/provenance/stats queries goes over the wire, and the
+   answers land on stdout for the golden diff. The per-frame serve
+   counters must then be visible in a rendered manifest
+   (serve_manifest.json) and the METRICS opcode's exposition must be a
+   terminated OpenMetrics document (serve_metrics.txt) — the dune rule
+   greps both. *)
+
+open Netcore
+module Gen = Topogen.Gen
+
+let scale = 0.15
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("check_serve: " ^ m); exit 1) fmt
+
+let check = function
+  | Ok v -> v
+  | Error e -> die "%s" (Serve.Protocol.error_label e)
+
+let () =
+  Obs.Metrics.enable ();
+  let w = Gen.generate (Topogen.Scenario.small_access ~scale ()) in
+  let shared = Bdrmap.Pipeline.freeze_routing w in
+  let snapshot = shared.Bdrmap.Pipeline.snapshot in
+  let bgp = Routing.Bgp.of_snapshot snapshot in
+  let inputs = Bdrmap.Pipeline.inputs_of_world w bgp in
+  let runs = Bdrmap.Pipeline.execute_all ~shared w inputs ~vps:w.Gen.vps in
+  let merged =
+    Bdrmap.Aggregate.merge_runs
+      (List.map2
+         (fun (vp : Gen.vp) (r : Bdrmap.Pipeline.run) ->
+           (vp.Gen.vp_name, r.Bdrmap.Pipeline.graph, r.Bdrmap.Pipeline.inference))
+         w.Gen.vps runs)
+  in
+  let mapfile = Bdrmap.Mapfile.make ~host_asns:w.Gen.siblings ~bgp merged in
+  let qmap = Serve.Qmap.build ~snapshot mapfile in
+  let exposition () =
+    match Obs.Json.parse (Obs.Manifest.render ~command:"check-serve" ~scale ~jobs:1 ()) with
+    | Error _ -> "# EOF\n"
+    | Ok j -> (
+      match Obs.Openmetrics.of_manifest j with Ok t -> t | Error _ -> "# EOF\n")
+  in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bdrmap-check-serve-%d.sock" (Unix.getpid ()))
+  in
+  let server = Serve.Server.create ~exposition ~path qmap in
+  let domain = Domain.spawn (fun () -> Serve.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Domain.join domain)
+    (fun () ->
+      let c = check (Serve.Client.connect path) in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          (* The scripted batch: every border address in address order,
+             plus one address the map cannot know. *)
+          let border =
+            Ipv4.Set.elements
+              (List.fold_left
+                 (fun acc (m : Bdrmap.Aggregate.merged) ->
+                   Ipv4.Set.union acc
+                     (Ipv4.Set.union m.Bdrmap.Aggregate.near_addrs
+                        m.Bdrmap.Aggregate.far_addrs))
+                 Ipv4.Set.empty mapfile.Bdrmap.Mapfile.merged)
+          in
+          let probes = border @ [ Ipv4.of_string_exn "8.8.8.8" ] in
+          Printf.printf "world: %d border addresses, host AS%d\n" (List.length border)
+            (Serve.Qmap.host_asn qmap);
+          List.iter2
+            (fun a owner ->
+              if owner = 0 then Printf.printf "owner %s unknown\n" (Ipv4.to_string a)
+              else Printf.printf "owner %s AS%d\n" (Ipv4.to_string a) owner)
+            probes
+            (check (Serve.Client.owner_batch c probes));
+          let neighbors =
+            Asn.Set.elements
+              (List.fold_left
+                 (fun acc (m : Bdrmap.Aggregate.merged) ->
+                   Asn.Set.add m.Bdrmap.Aggregate.neighbor acc)
+                 Asn.Set.empty mapfile.Bdrmap.Mapfile.merged)
+          in
+          let host = Serve.Qmap.host_asn qmap in
+          List.iter
+            (fun nb ->
+              Printf.printf "crossings AS%d AS%d:\n" host nb;
+              List.iter (Printf.printf "  %s\n")
+                (check (Serve.Client.crossings c host nb)))
+            neighbors;
+          List.iter
+            (fun a ->
+              match check (Serve.Client.provenance c a) with
+              | Some line -> Printf.printf "%s\n" line
+              | None -> Printf.printf "provenance %s unknown\n" (Ipv4.to_string a))
+            probes;
+          let s = check (Serve.Client.stats c) in
+          Printf.printf "stats: %d queries, %d requests, %d connections, %d errors\n"
+            s.Serve.Client.queries s.Serve.Client.requests
+            s.Serve.Client.connections s.Serve.Client.errors;
+          (* The exposition answered over the wire — kept out of the
+             golden (it carries wall-clock) and grepped instead. *)
+          let text = check (Serve.Client.metrics_text c) in
+          let oc = open_out "serve_metrics.txt" in
+          output_string oc text;
+          close_out oc));
+  (* The manifest rendered after serving: the per-frame serve counters
+     recorded on the server domain must be visible here. *)
+  Obs.Manifest.write ~path:"serve_manifest.json" ~command:"check-serve" ~scale
+    ~jobs:1 ()

@@ -1,0 +1,84 @@
+(* The sequential block allocator's ceiling arithmetic: a block ending
+   exactly at 223.255.255.255 is the last one handed out, anything past
+   it is a typed Invalid_argument (never a silently mis-aligned block
+   reaching into multicast space — the historical bug re-aligned after
+   the exhaustion check). *)
+
+open Netcore
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let prefix = Alcotest.testable
+    (fun ppf p -> Format.pp_print_string ppf (Prefix.to_string p))
+    (fun a b -> Prefix.to_string a = Prefix.to_string b)
+
+let exhausted f =
+  match f () with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "error names the allocator and the exhaustion" true
+      (contains ~sub:"Addressing.alloc_block" msg
+      && contains ~sub:"exhausted" msg)
+  | (_ : Prefix.t) -> Alcotest.fail "allocation past the ceiling succeeded"
+
+let test_last_quarter_fits () =
+  (* /4 blocks tile the space exactly: the 13th starts at 208.0.0.0 and
+     ends at 223.255.255.255 — the ceiling itself — so it must still be
+     handed out; the 14th must raise. *)
+  let t = Topogen.Addressing.create () in
+  let last = ref None in
+  for _ = 1 to 13 do
+    last := Some (Topogen.Addressing.alloc_block t 4)
+  done;
+  (match !last with
+  | None -> Alcotest.fail "no block allocated"
+  | Some p ->
+    Alcotest.check prefix "13th /4" (Prefix.of_string_exn "208.0.0.0/4") p;
+    Alcotest.(check string)
+      "ends exactly at the multicast boundary" "223.255.255.255"
+      (Ipv4.to_string (Prefix.last p)));
+  exhausted (fun () -> Topogen.Addressing.alloc_block t 4)
+
+let test_half_blocks () =
+  (* /2 blocks: 64.0.0.0/2 and 128.0.0.0/2 fit; 192.0.0.0/2 would end
+     at 255.255.255.255, past the ceiling, and must raise instead of
+     being handed out (the historical check-then-align order let the
+     final alignment escape the exhaustion test). *)
+  let t = Topogen.Addressing.create () in
+  Alcotest.check prefix "first /2" (Prefix.of_string_exn "64.0.0.0/2")
+    (Topogen.Addressing.alloc_block t 2);
+  Alcotest.check prefix "second /2" (Prefix.of_string_exn "128.0.0.0/2")
+    (Topogen.Addressing.alloc_block t 2);
+  exhausted (fun () -> Topogen.Addressing.alloc_block t 2)
+
+let test_bad_len () =
+  List.iter
+    (fun len ->
+      match Topogen.Addressing.alloc_block (Topogen.Addressing.create ()) len with
+      | exception Invalid_argument _ -> ()
+      | (_ : Prefix.t) ->
+        Alcotest.fail (Printf.sprintf "alloc_block accepted /%d" len))
+    [ 0; 1; 33 ]
+
+let test_pool_exhaustion_is_typed () =
+  (* A /30 pool holds exactly one /30; the next carve must raise an
+     Invalid_argument naming the pool's block, not assert or loop. *)
+  let pool = Topogen.Addressing.pool_of (Prefix.of_string_exn "10.0.0.0/30") in
+  ignore (Topogen.Addressing.alloc_subnet pool 30 : Prefix.t);
+  match Topogen.Addressing.alloc_subnet pool 30 with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "error names the exhausted pool" true
+      (contains ~sub:"10.0.0.0/30" msg)
+  | (_ : Prefix.t) -> Alcotest.fail "carve from an exhausted pool succeeded"
+
+let suite =
+  [ Alcotest.test_case "last /4 ends exactly at the ceiling" `Quick
+      test_last_quarter_fits;
+    Alcotest.test_case "/2 blocks stop before multicast" `Quick test_half_blocks;
+    Alcotest.test_case "bad lengths rejected" `Quick test_bad_len;
+    Alcotest.test_case "pool exhaustion is a typed error" `Quick
+      test_pool_exhaustion_is_typed ]

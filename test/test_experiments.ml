@@ -118,7 +118,11 @@ let test_runtime () =
     rows
 
 let test_resource () =
-  let t = Experiments.Exp_resource.run ~scale () in
+  let t =
+    match Experiments.Exp_resource.run ~scale () with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Experiments.Exp_resource.error_to_string e)
+  in
   Alcotest.(check bool) "standalone exceeds whitebox" true
     (not t.standalone_fits_whitebox);
   Alcotest.(check bool) "split prober fits whitebox" true t.split_fits_whitebox;

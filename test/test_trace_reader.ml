@@ -46,6 +46,45 @@ let test_json_numbers () =
   Alcotest.(check bool) "exponent" true
     (Obs.Json.parse "1e3" = Ok (Obs.Json.Float 1000.0))
 
+let test_json_dup_keys () =
+  (* Duplicate object keys are a parse error naming the key — never a
+     silent first-wins or last-wins pick. The two artifacts we parse
+     (manifests, BENCH.json) are generated with unique keys, so a
+     duplicate always means a corrupt or hand-edited file. *)
+  (match Obs.Json.parse {|{"a":1,"a":2}|} with
+  | Ok _ -> Alcotest.fail "duplicate key parsed"
+  | Error e ->
+    Alcotest.(check bool) "error names the key" true
+      (contains "duplicate object key \"a\"" (Obs.Json.error_to_string e)));
+  (match Obs.Json.parse {|{"outer":{"k":1,"nested":0,"k":3}}|} with
+  | Ok _ -> Alcotest.fail "nested duplicate key parsed"
+  | Error e ->
+    Alcotest.(check bool) "nested error names the key" true
+      (contains "\"k\"" (Obs.Json.error_to_string e)));
+  match Obs.Json.parse {|{"a":{"x":1},"b":{"x":2}}|} with
+  | Ok _ -> () (* same key in sibling objects is fine *)
+  | Error e -> Alcotest.fail (Obs.Json.error_to_string e)
+
+let test_json_int_range () =
+  (* Integer numerals that fit OCaml's int stay Int; anything past the
+     63-bit range degrades to Float (losing low-bit precision), never
+     wraps and never fails. *)
+  Alcotest.(check bool) "max_int stays Int" true
+    (Obs.Json.parse (string_of_int max_int) = Ok (Obs.Json.Int max_int));
+  Alcotest.(check bool) "min_int stays Int" true
+    (Obs.Json.parse (string_of_int min_int) = Ok (Obs.Json.Int min_int));
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok (Obs.Json.Float f) ->
+        Alcotest.(check bool) (s ^ " magnitude preserved") true
+          (Float.abs f > 4.6e18)
+      | Ok v ->
+        Alcotest.fail
+          (Printf.sprintf "%s parsed as %s, expected Float" s (Obs.Json.to_string v))
+      | Error e -> Alcotest.fail (Obs.Json.error_to_string e))
+    [ "9223372036854775808"; "-9223372036854775809"; "18446744073709551616" ]
+
 (* -- Trace_reader: typed errors, truncation tolerance, round trips -- *)
 
 let span_line =
@@ -294,6 +333,20 @@ let prop_percentile_bounds =
               && q.Obs.Summary.max_est <= hi_edge +. 1e-9)
           | _ -> false))
 
+let test_summary_degenerate () =
+  (* An inconsistent histogram — a positive observation count but no
+     populated buckets (or vice versa) — yields None, never a division
+     by zero or a fabricated quantile. *)
+  Alcotest.(check bool) "count with no buckets" true
+    (Obs.Summary.percentile_of_buckets ~count:10 [] 0.5 = None);
+  Alcotest.(check bool) "count with all-zero buckets" true
+    (Obs.Summary.percentile_of_buckets ~count:10 [ (1.0, 0); (10.0, 0) ] 0.5
+    = None);
+  Alcotest.(check bool) "zero count with populated buckets" true
+    (Obs.Summary.percentile_of_buckets ~count:0 [ (1.0, 5) ] 0.5 = None);
+  Alcotest.(check bool) "consistent histogram still answers" true
+    (Obs.Summary.percentile_of_buckets ~count:5 [ (1.0, 5) ] 0.5 <> None)
+
 (* -- Run_diff: verdict semantics over flattened series -- *)
 
 let manifest ~wall ~sim =
@@ -390,6 +443,42 @@ let test_diff_bench_kind () =
   | Ok _ -> Alcotest.fail "unknown schema accepted"
   | Error _ -> ()
 
+let test_diff_serve_rows () =
+  (* Serve rows flatten under serve.<name>.<field>, and the load-derived
+     fields (throughput, latency, allocation rate, query counts) are
+     volatile: a jittery re-run must diff clean, only an over-ratio
+     slowdown regresses. *)
+  let bench qps =
+    load
+      (Printf.sprintf
+         {|{"schema": "bdrmap-bench/9", "scale": 0.1, "domains": 1,
+  "serve": [{"name": "owner-batch512", "batch": 512, "queries": 1000000,
+             "qps": %g, "rtt_p50_us": 80.0, "rtt_p99_us": 300.0,
+             "minor_words_per_query": 0.07, "wall_s": 0.5}]}|}
+         qps)
+  in
+  let a = bench 5e6 in
+  List.iter
+    (fun f ->
+      let name = "serve.owner-batch512." ^ f in
+      Alcotest.(check bool) (name ^ " present") true
+        (List.mem_assoc name a.Obs.Run_diff.series);
+      if f <> "batch" then
+        Alcotest.(check bool) (name ^ " volatile") true
+          (Obs.Run_diff.volatile_series name))
+    [ "qps"; "rtt_p50_us"; "rtt_p99_us"; "minor_words_per_query"; "queries";
+      "batch" ];
+  Alcotest.(check bool) "batch is deterministic" false
+    (Obs.Run_diff.volatile_series "serve.owner-batch512.batch");
+  Alcotest.(check bool) "jitter diffs clean" true
+    (Obs.Run_diff.regressions (Obs.Run_diff.diff a (bench 4.5e6)) = []);
+  match Obs.Run_diff.regressions (Obs.Run_diff.diff a (bench 1e6)) with
+  | [ f ] ->
+    Alcotest.(check string) "names the qps series" "serve.owner-batch512.qps"
+      f.Obs.Run_diff.f_name
+  | fs ->
+    Alcotest.fail (Printf.sprintf "expected 1 regression, got %d" (List.length fs))
+
 (* -- Openmetrics: exposition shape -- *)
 
 let test_openmetrics () =
@@ -418,6 +507,8 @@ let suite =
   [ Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json errors" `Quick test_json_errors;
     Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "json duplicate keys" `Quick test_json_dup_keys;
+    Alcotest.test_case "json int range" `Quick test_json_int_range;
     Alcotest.test_case "parse_line" `Quick test_parse_line;
     Alcotest.test_case "of_lines tolerance" `Quick test_of_lines_tolerance;
     Alcotest.test_case "of_file missing" `Quick test_of_file_missing;
@@ -425,6 +516,8 @@ let suite =
     Qc.to_alcotest prop_span_tree_roundtrip;
     Alcotest.test_case "summary quantiles" `Quick test_summary_quantiles;
     Alcotest.test_case "summary of_hist" `Quick test_summary_of_hist;
+    Alcotest.test_case "summary degenerate histograms" `Quick
+      test_summary_degenerate;
     Qc.to_alcotest prop_percentile_bounds;
     Alcotest.test_case "diff identical" `Quick test_diff_identical;
     Alcotest.test_case "diff wall regression" `Quick test_diff_wall_regression;
@@ -432,4 +525,5 @@ let suite =
     Alcotest.test_case "diff deterministic changed" `Quick test_diff_deterministic_changed;
     Alcotest.test_case "diff missing" `Quick test_diff_missing;
     Alcotest.test_case "diff bench kind" `Quick test_diff_bench_kind;
+    Alcotest.test_case "diff serve rows" `Quick test_diff_serve_rows;
     Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics ]
