@@ -38,6 +38,14 @@ let warm_sweep_major_budget = 50_000
 let serve_qps_floor = 250_000.0
 let serve_frame_words_budget = 100.0
 
+(* Floor for the incremental re-freeze on single-link churn: a link
+   add/remove dirties zero prefixes, so the incremental path does a
+   constant amount of work where the full freeze re-propagates every
+   route. 5x is the contract; the observed gap at scale 1 is orders of
+   magnitude wider, so this catches the incremental path silently
+   degrading to a full recompute, not timer noise. *)
+let churn_speedup_floor = 5.0
+
 let has_suffix suffix name =
   let n = String.length name and m = String.length suffix in
   n >= m && String.sub name (n - m) m = suffix
@@ -55,8 +63,8 @@ let () =
   in
   if run.Obs.Run_diff.kind <> Obs.Run_diff.Bench then
     fail "%s parsed, but not as a BENCH.json" path;
-  if run.Obs.Run_diff.schema <> "bdrmap-bench/9" then
-    fail "schema is %S, not bdrmap-bench/9" run.Obs.Run_diff.schema;
+  if run.Obs.Run_diff.schema <> "bdrmap-bench/10" then
+    fail "schema is %S, not bdrmap-bench/10" run.Obs.Run_diff.schema;
   let series = run.Obs.Run_diff.series in
   let get name = List.assoc_opt name series in
   let geti name = Option.map (fun f -> int_of_float f) (get name) in
@@ -154,6 +162,57 @@ let () =
         fail "corpus scenario %S: router accuracy %.2f%% fell below its floor %.2f%%"
           s (f "routers_pct") (f "routers_floor"))
     scenarios;
+  (* Temporal-churn rows: the single-link event classes are the
+     headline case for the incremental path — zero dirty prefixes, so
+     the re-freeze must beat the full freeze by at least the contract
+     factor. Rows for these classes are mandatory: the scale-1 bench
+     world always has an eligible site for a link add and remove, so a
+     missing row means the churn bench silently skipped them. *)
+  let churn_field row field =
+    match get (Printf.sprintf "churn.%s.%s" row field) with
+    | Some v -> v
+    | None -> fail "churn row %S lacks field %S (did the churn bench run?)" row field
+  in
+  let churn_speedups =
+    List.map
+      (fun row ->
+        let full = churn_field row "full_wall_s"
+        and incr = churn_field row "incr_wall_s" in
+        let speedup = full /. Float.max 1e-9 incr in
+        if speedup < churn_speedup_floor then
+          fail
+            "churn class %S: incremental re-freeze only %.1fx faster than a \
+             full freeze (floor %.0fx) — the incremental path degraded toward \
+             a full recompute"
+            row speedup churn_speedup_floor;
+        speedup)
+      [ "link_add"; "link_remove" ]
+  in
+  (* Longitudinal accuracy floor: churn across epochs must not erode
+     the inferred border map below the recorded floor. *)
+  let epochs =
+    List.filter_map
+      (fun (n, _) ->
+        if has_prefix "longitudinal." n && has_suffix ".links_pct" n then
+          Some (String.sub n 13 (String.length n - 13 - String.length ".links_pct"))
+        else None)
+      series
+  in
+  if epochs = [] then
+    fail "no longitudinal epoch rows: the epoch loop never ran";
+  List.iter
+    (fun e ->
+      let f field =
+        match get (Printf.sprintf "longitudinal.%s.%s" e field) with
+        | Some v -> v
+        | None -> fail "longitudinal epoch %s lacks field %S" e field
+      in
+      if f "links_pct" < f "links_floor" then
+        fail
+          "longitudinal epoch %s: link accuracy %.2f%% fell below the %.2f%% \
+           floor — churn is eroding inference quality"
+          e (f "links_pct") (f "links_floor"))
+    epochs;
   (* Query-server rows: sustained throughput, sane latency ordering,
      and the steady-state allocation rate the zero-alloc hot loop is
      supposed to hold. *)
@@ -190,9 +249,14 @@ let () =
   Printf.printf
     "check_bench: ok (%d builds / %d sweeps, %d attaches / %d VP computes, warm \
      sweep within %d major-word budget, %d corpus scenarios above their floors, \
-     serve at %s qps)\n"
+     serve at %s qps, single-link churn re-freeze %s faster, %d longitudinal \
+     epochs above the accuracy floor)\n"
     builds (sweeps + crossing) attaches vp_computes warm_sweep_major_budget
     (List.length scenarios)
     (match serve_qps with
     | batched :: _ -> Printf.sprintf "%.0f" batched
     | [] -> "?")
+    (match churn_speedups with
+    | s :: _ -> Printf.sprintf "%.0fx" s
+    | [] -> "?")
+    (List.length epochs)

@@ -131,6 +131,147 @@ let corpus () =
       corpus_rows := rows;
       Experiments.Exp_corpus.print Format.std_formatter rows)
 
+(* Temporal churn: each event class forced onto a fixed scale-1 world
+   (independent of BDRMAP_BENCH_SCALE so the rows are comparable across
+   runs), timing the evolved world's full re-freeze (scratch snapshot +
+   scratch forwarding plan) against the incremental path (Bgp.refreeze
+   + Forwarding.patch). Steps chain on one world, each patching the
+   previous snapshot, like the epoch loop does. All freezes here count
+   under a scratch counter so the builds-per-sweep accounting gate
+   stays meaningful. check_bench holds the single-link classes to a
+   >= 5x speedup — the headline contract of the incremental path. *)
+type churn_row = {
+  c_name : string;
+  c_full_wall_s : float;
+  c_incr_wall_s : float;
+  c_dirty : int;
+  c_total : int;
+  c_full_minor : float;
+  c_full_major : float;
+  c_incr_minor : float;
+  c_incr_major : float;
+}
+
+let churn_rows : churn_row list ref = ref []
+
+let churn_bench () =
+  banner "Temporal churn: full re-freeze vs incremental (scale 1)";
+  let module Evolve = Topogen.Evolve in
+  let module Bgp = Routing.Bgp in
+  let module Fwd = Routing.Forwarding in
+  let fresh_bgp (w : Topogen.Gen.world) =
+    Bgp.create w.Topogen.Gen.net w.Topogen.Gen.rels_truth
+      ~originated:(Topogen.Gen.originated w) ~selective:w.Topogen.Gen.selective
+  in
+  let timed_gc f =
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    ( r,
+      dt,
+      g1.Gc.minor_words -. g0.Gc.minor_words,
+      g1.Gc.major_words -. g0.Gc.major_words )
+  in
+  let w0 =
+    Topogen.Gen.generate (Topogen.Scenario.small_access ~scale:1.0 ())
+  in
+  let world = ref w0 in
+  let snap =
+    ref (Bgp.freeze ~counter:"routing.snapshot.scratch_builds" (fresh_bgp w0))
+  in
+  let plan =
+    ref
+      (Fwd.freeze ~egress_for:w0.Topogen.Gen.siblings
+         (Fwd.create w0.Topogen.Gen.net (Bgp.of_snapshot !snap)))
+  in
+  let force_kind kind w =
+    let rec go seed =
+      if seed > 50 then None
+      else
+        match Evolve.force ~seed kind w with
+        | Some r -> Some r
+        | None -> go (seed + 1)
+    in
+    go 1
+  in
+  List.iter
+    (fun kind ->
+      let label = Evolve.kind_label kind in
+      match force_kind kind !world with
+      | None -> Printf.printf "%-14s no eligible site; skipped\n%!" label
+      | Some (w', te) ->
+        world := w';
+        let churn = Bgp.churn_of_events [ te ] in
+        let scratch_plan, fw, fmin, fmaj =
+          timed_gc (fun () ->
+              let s =
+                Bgp.freeze ~counter:"routing.snapshot.scratch_builds"
+                  (fresh_bgp w')
+              in
+              let p =
+                Fwd.freeze ~egress_for:w'.Topogen.Gen.siblings
+                  (Fwd.create w'.Topogen.Gen.net (Bgp.of_snapshot s))
+              in
+              (s, p))
+        in
+        let (patched, stats, pplan), iw, imin, imaj =
+          timed_gc (fun () ->
+              let s, stats = Bgp.refreeze (fresh_bgp w') ~old:!snap churn in
+              let p =
+                Fwd.patch ~egress_for:w'.Topogen.Gen.siblings
+                  (Fwd.create w'.Topogen.Gen.net (Bgp.of_snapshot s))
+                  ~old:!plan ~churn ~dirty:stats.Bgp.rf_dirty_prefixes
+              in
+              (s, stats, p))
+        in
+        (let sscratch, pscratch = scratch_plan in
+         (match Bgp.Snapshot.equal sscratch patched with
+         | Ok () -> ()
+         | Error m ->
+           Printf.printf "WARNING: %s incremental snapshot diverged: %s\n%!"
+             label m);
+         match Fwd.plan_equal ~scratch:pscratch ~patched:pplan with
+         | Ok () -> ()
+         | Error m ->
+           Printf.printf "WARNING: %s incremental plan diverged: %s\n%!" label
+             m);
+        snap := patched;
+        plan := pplan;
+        Printf.printf
+          "%-14s full %.4fs  incremental %.4fs  (%.1fx, %d/%d dirty)\n%!"
+          label fw iw
+          (fw /. Float.max 1e-9 iw)
+          stats.Bgp.rf_dirty stats.Bgp.rf_total;
+        churn_rows :=
+          { c_name = label;
+            c_full_wall_s = fw;
+            c_incr_wall_s = iw;
+            c_dirty = stats.Bgp.rf_dirty;
+            c_total = stats.Bgp.rf_total;
+            c_full_minor = fmin;
+            c_full_major = fmaj;
+            c_incr_minor = imin;
+            c_incr_major = imaj
+          }
+          :: !churn_rows)
+    Evolve.all_kinds
+
+(* Longitudinal drift: the epoch loop at a fixed scale 0.3, one row per
+   epoch with inferred-map accuracy against the evolved ground truth.
+   check_bench holds every epoch's link accuracy above the recorded
+   floor — churn must not quietly erode inference quality. *)
+let longitudinal_links_floor = 60.0
+let longitudinal_rows : Experiments.Exp_longitudinal.row list ref = ref []
+
+let longitudinal () =
+  banner "Longitudinal: border-map drift under temporal churn (scale 0.3)";
+  timed "longitudinal" (fun () ->
+      let rows = Experiments.Exp_longitudinal.run ~scale:0.3 () in
+      longitudinal_rows := rows;
+      Experiments.Exp_longitudinal.print Format.std_formatter rows)
+
 (* The multi-VP experiments again, serial vs pooled, on a warm
    environment (the world/engine cache makes the comparison about the
    per-VP sweep, not world generation). *)
@@ -527,10 +668,44 @@ let write_bench_json path =
     Printf.sprintf "  \"metrics\": [\n%s\n  ]"
       (String.concat ",\n" (List.map row !obs_snapshot))
   in
+  let churn_block =
+    let row r =
+      Printf.sprintf
+        "    {\"name\": \"%s\", \"full_wall_s\": %.6f, \"incr_wall_s\": %.6f, \
+         \"speedup\": %.2f, \"dirty\": %d, \"total_pfx\": %d, \
+         \"full_minor_words\": %.0f, \"full_major_words\": %.0f, \
+         \"incr_minor_words\": %.0f, \"incr_major_words\": %.0f}"
+        (json_escape r.c_name) r.c_full_wall_s r.c_incr_wall_s
+        (r.c_full_wall_s /. Float.max 1e-9 r.c_incr_wall_s)
+        r.c_dirty r.c_total r.c_full_minor r.c_full_major r.c_incr_minor
+        r.c_incr_major
+    in
+    Printf.sprintf "  \"churn\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row (List.rev !churn_rows)))
+  in
+  let longitudinal_block =
+    let row (r : Experiments.Exp_longitudinal.row) =
+      Printf.sprintf
+        "    {\"epoch\": %d, \"time_s\": %g, \"dirty\": %d, \"total_pfx\": %d, \
+         \"borders\": %d, \"links_pct\": %.2f, \"links_floor\": %.2f, \
+         \"routers_pct\": %.2f, \"drift_pct\": %.2f}"
+        r.Experiments.Exp_longitudinal.epoch
+        r.Experiments.Exp_longitudinal.time
+        r.Experiments.Exp_longitudinal.dirty
+        r.Experiments.Exp_longitudinal.total_pfx
+        r.Experiments.Exp_longitudinal.borders
+        r.Experiments.Exp_longitudinal.links.Bdrmap.Validate.pct_correct
+        longitudinal_links_floor
+        r.Experiments.Exp_longitudinal.routers.Bdrmap.Validate.pct_correct
+        r.Experiments.Exp_longitudinal.drift_pct
+    in
+    Printf.sprintf "  \"longitudinal\": [\n%s\n  ]"
+      (String.concat ",\n" (List.map row !longitudinal_rows))
+  in
   Printf.fprintf oc
-    "{\n  \"schema\": \"bdrmap-bench/9\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
-    scale jobs experiments_block robustness_block corpus_block serve_block
-    stages_block metrics_block
+    "{\n  \"schema\": \"bdrmap-bench/10\",\n  \"scale\": %g,\n  \"domains\": %d,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s,\n%s\n}\n"
+    scale jobs experiments_block robustness_block corpus_block churn_block
+    longitudinal_block serve_block stages_block metrics_block
     (block "micro" "{\"name\": \"%s\", \"ns_per_run\": %.1f}" (List.rev !micro_times));
   close_out oc;
   Printf.printf "wrote %s\n%!" path
@@ -549,6 +724,8 @@ let () =
     experiments None;
     robustness ();
     corpus ();
+    churn_bench ();
+    longitudinal ();
     store_comparison None;
     snapshot_comparison ();
     scale3_snapshot ();
@@ -563,6 +740,8 @@ let () =
         experiments pool;
         robustness ();
         corpus ();
+        churn_bench ();
+        longitudinal ();
         parallel_comparison pool;
         store_comparison pool;
         snapshot_comparison ();

@@ -454,7 +454,7 @@ let infer (scenario_name, scenario) scale seed collection_file obs =
    one-line error plus usage, not in the middle of a sweep. *)
 let experiment_names =
   [ "table1"; "validation"; "fig14"; "fig15"; "fig16"; "runtime"; "resource";
-    "baselines"; "ablation"; "robustness"; "corpus" ]
+    "baselines"; "ablation"; "robustness"; "corpus"; "longitudinal" ]
 
 let experiment_conv =
   let parse s =
@@ -495,7 +495,8 @@ let experiments scale names jobs store_dir obs =
              output is a golden artifact downstream). *)
           let extra =
             [ ("robustness", fun () -> Exp_print.robustness scale);
-              ("corpus", fun () -> Exp_print.corpus scale) ]
+              ("corpus", fun () -> Exp_print.corpus scale);
+              ("longitudinal", fun () -> Exp_print.longitudinal scale) ]
           in
           let chosen =
             match names with
@@ -536,24 +537,30 @@ let save_map_arg =
     & info [ "save-map" ] ~docv:"FILE"
         ~doc:"Save the merged border map artifact to $(docv) before serving.")
 
+let load_mapfile ~verb path =
+  match Bdrmap.Mapfile.load path with
+  | Ok mf ->
+    Printf.printf "%s border map %s: %d links, %d origin prefixes\n%!" verb path
+      (List.length mf.Bdrmap.Mapfile.merged)
+      (List.length mf.Bdrmap.Mapfile.origins);
+    Ok mf
+  | Error e ->
+    Error (Printf.sprintf "%s: %s" path (Bdrmap.Mapfile.error_label e))
+
 (* Build the query map a server answers from: frozen routing snapshot
    plus the all-VP merged border map (computed, or loaded from a saved
-   artifact). *)
+   artifact). Returns the snapshot too, so a SIGHUP reload can recompile
+   a fresh map against it without re-freezing. *)
 let build_qmap (world : Gen.world) store pool map_in save_map =
   let shared = Bdrmap.Pipeline.freeze_routing ?store world in
   let snapshot = shared.Bdrmap.Pipeline.snapshot in
   let mapfile =
     match map_in with
     | Some path -> (
-      match Bdrmap.Mapfile.load path with
-      | Ok mf ->
-        Printf.printf "loaded border map %s: %d links, %d origin prefixes\n%!" path
-          (List.length mf.Bdrmap.Mapfile.merged)
-          (List.length mf.Bdrmap.Mapfile.origins);
-        mf
-      | Error e ->
-        prerr_endline
-          (Printf.sprintf "bdrmap: serve: %s: %s" path (Bdrmap.Mapfile.error_label e));
+      match load_mapfile ~verb:"loaded" path with
+      | Ok mf -> mf
+      | Error msg ->
+        prerr_endline (Printf.sprintf "bdrmap: serve: %s" msg);
         exit 124)
     | None ->
       let bgp = Routing.Bgp.of_snapshot snapshot in
@@ -566,7 +573,7 @@ let build_qmap (world : Gen.world) store pool map_in save_map =
       Bdrmap.Mapfile.save path mapfile;
       Printf.printf "saved border map to %s\n%!" path)
     save_map;
-  Serve.Qmap.build ~snapshot mapfile
+  (snapshot, Serve.Qmap.build ~snapshot mapfile)
 
 let serve (scenario_name, scenario) scale seed jobs store_dir socket map_in save_map
     obs =
@@ -578,7 +585,7 @@ let serve (scenario_name, scenario) scale seed jobs store_dir socket map_in save
       let params = params_of scenario scale seed in
       let world = Gen.generate params in
       let store = open_store store_dir in
-      let qmap =
+      let snapshot, qmap =
         with_jobs jobs (fun pool -> build_qmap world store pool map_in save_map)
       in
       (* The exposition served on the METRICS opcode: a manifest
@@ -596,10 +603,29 @@ let serve (scenario_name, scenario) scale seed jobs store_dir socket map_in save
           | Ok t -> t
           | Error _ -> "# EOF\n")
       in
-      let server = Serve.Server.create ~exposition ~path:socket qmap in
+      (* SIGHUP hot-reload: with --map, re-read the (possibly replaced)
+         artifact and recompile a Qmap against the frozen snapshot; a
+         map that fails to parse keeps the current one serving. Without
+         --map, re-run the (store-warm, deterministic) pipeline. Either
+         way the swap happens in the event loop without dropping
+         connections. *)
+      let reload () =
+        match map_in with
+        | Some path -> (
+          match load_mapfile ~verb:"reloaded" path with
+          | Ok mf -> Some (Serve.Qmap.build ~snapshot mf)
+          | Error msg ->
+            prerr_endline
+              (Printf.sprintf "bdrmap: serve: reload failed (%s); keeping current map" msg);
+            None)
+        | None -> Some (snd (build_qmap world store None None None))
+      in
+      let server = Serve.Server.create ~exposition ~reload ~path:socket qmap in
       let stop_on _ = Serve.Server.stop server in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on);
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on);
+      Sys.set_signal Sys.sighup
+        (Sys.Signal_handle (fun _ -> Serve.Server.request_reload server));
       Printf.printf "serving border map on %s (%d border addresses, host AS%d)\n%!"
         socket
         (Serve.Qmap.border_count qmap)
@@ -675,7 +701,7 @@ let serve_bench (scenario_name, scenario) scale seed jobs store_dir batch second
       let params = params_of scenario scale seed in
       let world = Gen.generate params in
       let store = open_store store_dir in
-      let qmap =
+      let _, qmap =
         with_jobs jobs (fun pool -> build_qmap world store pool None None)
       in
       let r = Serve.Bench_load.run ~batch ~seconds qmap in

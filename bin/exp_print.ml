@@ -46,3 +46,7 @@ let robustness scale =
 let corpus scale =
   Experiments.Exp_corpus.print Format.std_formatter
     (Experiments.Exp_corpus.run ~scale ())
+
+let longitudinal scale =
+  Experiments.Exp_longitudinal.print Format.std_formatter
+    (Experiments.Exp_longitudinal.run ~scale ())

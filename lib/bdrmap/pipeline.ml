@@ -104,7 +104,7 @@ type shared = {
   plan : Routing.Forwarding.plan;
 }
 
-let freeze_routing ?store (w : Gen.world) =
+let freeze_routing ?store ?epoch (w : Gen.world) =
   Obs.Span.with_span ~stage:"freeze" ~vp:"shared" (fun () ->
       (* With a store, the packed snapshot round-trips through its raw
          byte codec: warm sweeps skip the propagation compute entirely.
@@ -114,7 +114,7 @@ let freeze_routing ?store (w : Gen.world) =
         let cached =
           match store with
           | None -> None
-          | Some st -> Run_store.load_bgp_snapshot st ~world:w
+          | Some st -> Run_store.load_bgp_snapshot ?epoch st ~world:w
         in
         match cached with
         | Some s -> s
@@ -124,7 +124,9 @@ let freeze_routing ?store (w : Gen.world) =
               ~originated:(Gen.originated w) ~selective:w.Gen.selective
           in
           let s = Routing.Bgp.freeze bgp in
-          Option.iter (fun st -> Run_store.save_bgp_snapshot st ~world:w s) store;
+          Option.iter
+            (fun st -> Run_store.save_bgp_snapshot ?epoch st ~world:w s)
+            store;
           s
       in
       let fwd =
@@ -133,7 +135,8 @@ let freeze_routing ?store (w : Gen.world) =
       let plan = Routing.Forwarding.freeze ~egress_for:w.Gen.siblings fwd in
       { snapshot; plan })
 
-let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs ~vps =
+let execute_all ?cfg ?pool ?store ?shared ?epoch ?(pps = 100.0) (w : Gen.world)
+    inputs ~vps =
   Obs.Metrics.incr "pipeline.sweeps";
   (* The store key must cover everything the run is a function of, so
      resolve the effective config here rather than letting [execute]
@@ -152,7 +155,7 @@ let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs 
   let shared =
     match shared with
     | Some s -> lazy s
-    | None -> lazy (freeze_routing ?store w)
+    | None -> lazy (freeze_routing ?store ?epoch w)
   in
   let compute vp =
     Obs.Metrics.incr "pipeline.vp_computes";
@@ -170,7 +173,7 @@ let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs 
     match store with
     | None -> compute vp
     | Some st -> (
-      match Run_store.load st ~world:w ~pps ~cfg ~vp with
+      match Run_store.load ?epoch st ~world:w ~pps ~cfg ~vp with
       | Some (s : Run_store.snapshot) ->
         let ip2as =
           Ip2as.create ~rib:inputs.rib ~ixp:inputs.ixp
@@ -188,7 +191,7 @@ let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs 
         }
       | None ->
         let r = compute vp in
-        Run_store.save st ~world:w ~pps ~cfg ~vp
+        Run_store.save ?epoch st ~world:w ~pps ~cfg ~vp
           {
             Run_store.collection = r.collection;
             graph = r.graph;
@@ -204,3 +207,116 @@ let execute_all ?cfg ?pool ?store ?shared ?(pps = 100.0) (w : Gen.world) inputs 
     freeze_shared w inputs;
     ignore (Lazy.force shared);
     Pool.map pool run_vp vps
+
+(* ------------------------------------------------------------------ *)
+(* Epoch loop: freeze -> infer -> apply events -> incremental
+   re-freeze -> infer -> ... The expensive full propagation runs once;
+   every later epoch patches the previous snapshot and plan through
+   [Bgp.refreeze] / [Forwarding.patch], re-propagating only the dirty
+   prefix columns. *)
+
+type epoch = {
+  ep_index : int;
+  ep_time : float;  (** simulated clock at the end of the epoch's batch *)
+  ep_digest : string;  (** chained event-log digest (store-key component) *)
+  ep_events : Topogen.Evolve.timed list;
+  ep_stats : Routing.Bgp.refreeze_stats option;  (** [None] at epoch 0 *)
+  ep_world : Gen.world;
+  ep_shared : shared;
+  ep_runs : run list;
+}
+
+let run_epochs ?cfg ?pool ?store ?(pps = 100.0) ?(validate = true) ~schedule
+    ~vps (w : Gen.world) =
+  Topogen.Evolve.validate_schedule schedule;
+  let fresh_bgp (w : Gen.world) =
+    Routing.Bgp.create w.Gen.net w.Gen.rels_truth
+      ~originated:(Gen.originated w) ~selective:w.Gen.selective
+  in
+  let world = ref w in
+  let digest = ref "" in
+  let prev : shared option ref = ref None in
+  let epoch_of e =
+      let events, stats, shared =
+        match (e, !prev) with
+        | 0, _ | _, None ->
+          (* Epoch 0: the one full freeze (store-warm when possible). *)
+          ([], None, freeze_routing ?store ~epoch:!digest !world)
+        | _, Some old ->
+          let w', events = Topogen.Evolve.advance schedule ~epoch:e !world in
+          world := w';
+          digest := Topogen.Evolve.log_digest !digest events;
+          let churn = Routing.Bgp.churn_of_events events in
+          let snapshot, stats =
+            Obs.Span.with_span ~stage:"freeze" ~vp:"shared" (fun () ->
+                Routing.Bgp.refreeze (fresh_bgp w') ~old:old.snapshot churn)
+          in
+          let fwd =
+            Routing.Forwarding.create w'.Gen.net
+              (Routing.Bgp.of_snapshot snapshot)
+          in
+          let plan =
+            Obs.Span.with_span ~stage:"freeze" ~vp:"shared" (fun () ->
+                Routing.Forwarding.patch ~egress_for:w'.Gen.siblings fwd
+                  ~old:old.plan ~churn
+                  ~dirty:stats.Routing.Bgp.rf_dirty_prefixes)
+          in
+          if validate then begin
+            (* Prove the incremental path byte-identical to a scratch
+               freeze of the evolved world: packed words, arena (modulo
+               interning order), every LPM answer, every IGP row and
+               egress cell. Counted apart from the patched builds so
+               build-accounting gates stay meaningful. *)
+            let scratch =
+              Routing.Bgp.freeze ~counter:"routing.snapshot.scratch_builds"
+                (fresh_bgp w')
+            in
+            (match Routing.Bgp.Snapshot.equal scratch snapshot with
+            | Ok () -> ()
+            | Error m ->
+              invalid_arg
+                (Printf.sprintf
+                   "Pipeline.run_epochs: epoch %d snapshot diverged: %s" e m));
+            let sfwd =
+              Routing.Forwarding.create w'.Gen.net
+                (Routing.Bgp.of_snapshot scratch)
+            in
+            let splan =
+              Routing.Forwarding.freeze ~egress_for:w'.Gen.siblings sfwd
+            in
+            match
+              Routing.Forwarding.plan_equal ~scratch:splan ~patched:plan
+            with
+            | Ok () -> ()
+            | Error m ->
+              invalid_arg
+                (Printf.sprintf
+                   "Pipeline.run_epochs: epoch %d plan diverged: %s" e m)
+          end;
+          (events, Some stats, { snapshot; plan })
+      in
+      prev := Some shared;
+      let w' = !world in
+      let inputs =
+        inputs_of_world w' (Routing.Bgp.of_snapshot shared.snapshot)
+      in
+      let runs =
+        execute_all ?cfg ?pool ?store ~shared ~epoch:!digest ~pps w' inputs
+          ~vps:(vps w')
+      in
+      { ep_index = e;
+        ep_time = float_of_int e *. schedule.Topogen.Evolve.ev_interval;
+        ep_digest = !digest;
+        ep_events = events;
+        ep_stats = stats;
+        ep_world = w';
+        ep_shared = shared;
+        ep_runs = runs }
+  in
+  (* Epochs are inherently sequential (each patches the previous
+     snapshot), so build the list with an explicit in-order loop. *)
+  let acc = ref [] in
+  for e = 0 to schedule.Topogen.Evolve.ev_epochs do
+    acc := epoch_of e :: !acc
+  done;
+  List.rev !acc

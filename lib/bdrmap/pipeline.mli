@@ -55,8 +55,11 @@ type shared = {
     snapshot round-trips through {!Run_store.load_bgp_snapshot} /
     {!Run_store.save_bgp_snapshot}, so warm sweeps skip the propagation
     compute. Traced as the ["freeze"] stage; the snapshot build is
-    counted under [routing.snapshot.builds]. *)
-val freeze_routing : ?store:Store.t -> Gen.world -> shared
+    counted under [routing.snapshot.builds].
+    [?epoch] (the chained event-log digest of {!Topogen.Evolve}) keys
+    evolved-world snapshots apart in the store; the default [""] is the
+    unevolved world. *)
+val freeze_routing : ?store:Store.t -> ?epoch:string -> Gen.world -> shared
 
 (** [execute_all ?pool w inputs ~vps] runs the full pipeline from every
     vantage point in [vps], on [pool]'s worker domains when one is
@@ -81,11 +84,55 @@ val execute_all :
   ?pool:Pool.t ->
   ?store:Store.t ->
   ?shared:shared ->
+  ?epoch:string ->
   ?pps:float ->
   Gen.world ->
   inputs ->
   vps:Gen.vp list ->
   run list
+
+(** {1 Epoch loop}
+
+    Temporal churn: freeze once, then per epoch apply the evolution
+    batch, incrementally re-freeze (only dirty prefixes re-propagate;
+    the forwarding plan re-scores only dirty columns), and re-run
+    inference. *)
+
+type epoch = {
+  ep_index : int;  (** 0 is the unevolved world *)
+  ep_time : float;  (** simulated clock at the end of the epoch *)
+  ep_digest : string;
+      (** chained event-log digest; keys this epoch's store entries *)
+  ep_events : Topogen.Evolve.timed list;  (** applied this epoch *)
+  ep_stats : Routing.Bgp.refreeze_stats option;  (** [None] at epoch 0 *)
+  ep_world : Gen.world;  (** the evolved world (shared [Net.t], mutated) *)
+  ep_shared : shared;  (** patched snapshot + plan for this epoch *)
+  ep_runs : run list;  (** one per VP returned by [vps] *)
+}
+
+(** [run_epochs ~schedule ~vps w] drives the epoch loop: one full
+    freeze at epoch 0, then [schedule.ev_epochs] rounds of
+    {!Topogen.Evolve.advance} + {!Routing.Bgp.refreeze} +
+    {!Routing.Forwarding.patch} + a full inference sweep over
+    [vps ep_world]. With [validate] (the default), every patched epoch
+    is checked against a from-scratch freeze — packed words, arena,
+    LPM answers ({!Routing.Bgp.Snapshot.equal}) and the whole
+    forwarding plan ({!Routing.Forwarding.plan_equal}) — and any
+    divergence raises [Invalid_argument]; the scratch freezes are
+    counted under [routing.snapshot.scratch_builds], leaving the
+    incremental accounting ([routing.snapshot.builds] = 1,
+    [routing.snapshot.patches] = N) intact. [store] keys every epoch's
+    artifacts by [ep_digest]. *)
+val run_epochs :
+  ?cfg:Config.t ->
+  ?pool:Pool.t ->
+  ?store:Store.t ->
+  ?pps:float ->
+  ?validate:bool ->
+  schedule:Topogen.Evolve.schedule ->
+  vps:(Gen.world -> Gen.vp list) ->
+  Gen.world ->
+  epoch list
 
 (** [freeze_shared w inputs] forces the lazily built indices of the
     structures parallel runs share read-only. Called automatically by

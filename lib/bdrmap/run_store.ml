@@ -1,6 +1,6 @@
 module Gen = Topogen.Gen
 
-let snapshot_version = 1
+let snapshot_version = 2
 
 type snapshot = {
   collection : Collect.t;
@@ -12,15 +12,20 @@ type snapshot = {
 
 let digest_key v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 
-let key ~(world : Gen.world) ~pps ~(cfg : Config.t) ~(vp : Gen.vp) =
-  (* The topology is a pure function of [params] and the per-VP run a
-     pure function of (params, pps, cfg, vp) — execute_all gives every
-     VP a fresh routing/probing stack, so nothing else (pool size,
-     obs flags, sweep order) may influence the snapshot. *)
+let key ?(epoch = "") ~(world : Gen.world) ~pps ~(cfg : Config.t)
+    ~(vp : Gen.vp) () =
+  (* The topology is a pure function of [params] — and, once evolution
+     runs, of the epoch's chained event-log digest — and the per-VP run
+     a pure function of (params, epoch, pps, cfg, vp): execute_all
+     gives every VP a fresh routing/probing stack, so nothing else
+     (pool size, obs flags, sweep order) may influence the snapshot.
+     [epoch] is [Topogen.Evolve.log_digest]'s accumulator; the empty
+     string is the unevolved world. *)
   digest_key
     ( "bdrmap-run",
       snapshot_version,
       world.Gen.params,
+      epoch,
       pps,
       vp.Gen.vp_rid,
       vp.Gen.vp_name,
@@ -56,13 +61,13 @@ let put st ~key v =
   Obs.Metrics.incr "store.writes";
   Obs.Metrics.add "store.bytes_written" bytes
 
-let load st ~world ~pps ~cfg ~vp =
-  let key = key ~world ~pps ~cfg ~vp in
+let load ?epoch st ~world ~pps ~cfg ~vp =
+  let key = key ?epoch ~world ~pps ~cfg ~vp () in
   Obs.Span.with_span ~stage:"store" ~vp:vp.Gen.vp_name (fun () ->
       (fetch st ~key ~what:"run" : snapshot option))
 
-let save st ~world ~pps ~cfg ~vp (s : snapshot) =
-  let key = key ~world ~pps ~cfg ~vp in
+let save ?epoch st ~world ~pps ~cfg ~vp (s : snapshot) =
+  let key = key ?epoch ~world ~pps ~cfg ~vp () in
   Obs.Span.with_span ~stage:"store" ~vp:vp.Gen.vp_name (fun () ->
       put st ~key s)
 
@@ -72,14 +77,15 @@ let save st ~world ~pps ~cfg ~vp (s : snapshot) =
    own header/digest then guards the payload a second time inside the
    store entry. The codec version participates in the key, so a layout
    change misses on key instead of decoding wrongly. *)
-let bgp_snapshot_key ~(world : Gen.world) =
+let bgp_snapshot_key ?(epoch = "") ~(world : Gen.world) () =
   digest_key
     ( "bdrmap-bgp-snapshot",
       Routing.Bgp.Snapshot.codec_version,
-      world.Gen.params )
+      world.Gen.params,
+      epoch )
 
-let load_bgp_snapshot st ~world =
-  let key = bgp_snapshot_key ~world in
+let load_bgp_snapshot ?epoch st ~world =
+  let key = bgp_snapshot_key ?epoch ~world () in
   Obs.Span.with_span ~stage:"store" ~vp:"shared" (fun () ->
       match Store.read st ~key with
       | Ok payload -> (
@@ -107,8 +113,8 @@ let load_bgp_snapshot st ~world =
         Obs.Metrics.incr "store.snapshot.misses";
         None)
 
-let save_bgp_snapshot st ~world s =
-  let key = bgp_snapshot_key ~world in
+let save_bgp_snapshot ?epoch st ~world s =
+  let key = bgp_snapshot_key ?epoch ~world () in
   Obs.Span.with_span ~stage:"store" ~vp:"shared" (fun () ->
       let payload =
         Bytes.unsafe_to_string (Routing.Bgp.Snapshot.to_bytes s)

@@ -32,11 +32,17 @@ type snapshot = {
   cache : Probesim.Engine.cache_stats;
 }
 
+(** [?epoch] is the topology epoch's chained event-log digest
+    ({!Topogen.Evolve.log_digest}); it participates in the key so each
+    evolution epoch checkpoints apart. The default [""] is the
+    unevolved world. *)
 val key :
+  ?epoch:string ->
   world:Topogen.Gen.world ->
   pps:float ->
   cfg:Config.t ->
   vp:Topogen.Gen.vp ->
+  unit ->
   string
 
 (** [load st ~world ~pps ~cfg ~vp] returns the stored snapshot, or
@@ -44,6 +50,7 @@ val key :
     Hits add [store.hits] / [store.bytes_read] and run under a
     ["store"] span. *)
 val load :
+  ?epoch:string ->
   Store.t ->
   world:Topogen.Gen.world ->
   pps:float ->
@@ -54,6 +61,7 @@ val load :
 (** [save st ~world ~pps ~cfg ~vp s] checkpoints [s] atomically
     (adds [store.writes] / [store.bytes_written]). *)
 val save :
+  ?epoch:string ->
   Store.t ->
   world:Topogen.Gen.world ->
   pps:float ->
@@ -61,6 +69,12 @@ val save :
   vp:Topogen.Gen.vp ->
   snapshot ->
   unit
+
+(** [bgp_snapshot_key ~world ()] is the store key of [world]'s frozen
+    routing snapshot: world parameters, snapshot codec version and the
+    topology epoch digest ([?epoch], default [""] = unevolved). *)
+val bgp_snapshot_key :
+  ?epoch:string -> world:Topogen.Gen.world -> unit -> string
 
 (** [load_bgp_snapshot st ~world] returns the persisted frozen routing
     snapshot for [world], or [None]. Snapshots are stored under a key
@@ -72,11 +86,18 @@ val save :
     [store.snapshot.writes] (apart from the per-VP checkpoint
     counters, which stay one-entry-per-VP). *)
 val load_bgp_snapshot :
-  Store.t -> world:Topogen.Gen.world -> Routing.Bgp.snapshot option
+  ?epoch:string ->
+  Store.t ->
+  world:Topogen.Gen.world ->
+  Routing.Bgp.snapshot option
 
 (** [save_bgp_snapshot st ~world s] persists [s] atomically. *)
 val save_bgp_snapshot :
-  Store.t -> world:Topogen.Gen.world -> Routing.Bgp.snapshot -> unit
+  ?epoch:string ->
+  Store.t ->
+  world:Topogen.Gen.world ->
+  Routing.Bgp.snapshot ->
+  unit
 
 (** [memo st ~key ?vp ~what f] returns the value cached under [key],
     or computes [f ()], checkpoints it, and returns it. [what] names

@@ -26,6 +26,23 @@ let add_p2p t a b =
   let sb = get t b in
   Asn.Map.add b { sb with peer = Asn.Set.add a sb.peer } t
 
+(* Drop every relationship between [a] and [b], whichever direction it
+   was recorded in. ASes left with no relationships at all keep their
+   (empty) entry so [asns] stays stable across a depeering — the packed
+   snapshot's ASN axis is derived from it. *)
+let remove_edge t a b =
+  let scrub x y t =
+    match Asn.Map.find_opt x t with
+    | None -> t
+    | Some s ->
+      Asn.Map.add x
+        { prov = Asn.Set.remove y s.prov;
+          cust = Asn.Set.remove y s.cust;
+          peer = Asn.Set.remove y s.peer }
+        t
+  in
+  scrub a b (scrub b a t)
+
 let rel t ~of_ ~with_ =
   let s = get t of_ in
   if Asn.Set.mem with_ s.prov then Some Provider

@@ -18,6 +18,11 @@ val add_c2p : t -> provider:Asn.t -> customer:Asn.t -> t
 (** [add_p2p t a b] records a peering edge. *)
 val add_p2p : t -> Asn.t -> Asn.t -> t
 
+(** [remove_edge t a b] drops whatever relationship exists between [a]
+    and [b] (either direction, any kind). ASes left without
+    relationships keep an empty entry, so {!asns} is unchanged. *)
+val remove_edge : t -> Asn.t -> Asn.t -> t
+
 (** [rel t ~of_:a ~with_:b] is the role [b] plays for [a]: [Some Provider]
     when [b] provides transit to [a]. *)
 val rel : t -> of_:Asn.t -> with_:Asn.t -> rel option

@@ -1,0 +1,118 @@
+module Gen = Topogen.Gen
+module Evolve = Topogen.Evolve
+
+type row = {
+  epoch : int;
+  time : float;
+  events : (Evolve.kind * int) list;
+  dirty : int;
+  total_pfx : int;
+  borders : int;
+  links : Bdrmap.Validate.summary;
+  routers : Bdrmap.Validate.summary;
+  drift_pct : float;
+}
+
+let event_counts evs =
+  List.filter_map
+    (fun k ->
+      match
+        List.length
+          (List.filter
+             (fun (te : Evolve.timed) -> Evolve.kind_of te.Evolve.ev = k)
+             evs)
+      with
+      | 0 -> None
+      | n -> Some (k, n))
+    Evolve.all_kinds
+
+(* The inferred border map, reduced to the multiset of neighbor ASNs of
+   its interdomain links. Node ids are not stable across epochs (a
+   re-collection renumbers the router graph), so drift is measured on
+   what the map claims — which neighbor networks the host borders —
+   rather than on graph identities. *)
+let border_multiset (r : Bdrmap.Pipeline.run) =
+  List.sort compare
+    (List.map
+       (fun (l : Bdrmap.Heuristics.border_link) -> l.Bdrmap.Heuristics.neighbor)
+       r.Bdrmap.Pipeline.inference.Bdrmap.Heuristics.links)
+
+(* Multiset symmetric difference over sorted lists, as a percentage of
+   the multiset union. Both empty -> 0. *)
+let drift_pct prev cur =
+  let rec walk diff inter a b =
+    match (a, b) with
+    | [], rest | rest, [] -> (diff + List.length rest, inter)
+    | x :: a', y :: b' ->
+      if x = y then walk diff (inter + 1) a' b'
+      else if x < y then walk (diff + 1) inter a' b
+      else walk (diff + 1) inter a b'
+  in
+  let diff, inter = walk 0 0 prev cur in
+  let union = diff + inter in
+  if union = 0 then 0.0 else 100.0 *. float_of_int diff /. float_of_int union
+
+let run ?(scale = 0.3) ?(schedule = Evolve.default_schedule) () =
+  (* A private world: evolution mutates it in place, so the memoized
+     Exp_common environment cache must never see it. *)
+  let w = Gen.generate (Topogen.Scenario.small_access ~scale ()) in
+  let epochs =
+    Bdrmap.Pipeline.run_epochs ~schedule
+      ~vps:(fun (w : Gen.world) -> [ List.hd w.Gen.vps ])
+      w
+  in
+  let prev = ref [] in
+  List.map
+    (fun (e : Bdrmap.Pipeline.epoch) ->
+      let r = List.hd e.Bdrmap.Pipeline.ep_runs in
+      let w' = e.Bdrmap.Pipeline.ep_world in
+      let cur = border_multiset r in
+      let drift =
+        if e.Bdrmap.Pipeline.ep_index = 0 then 0.0 else drift_pct !prev cur
+      in
+      prev := cur;
+      let dirty, total =
+        match e.Bdrmap.Pipeline.ep_stats with
+        | None ->
+          ( 0,
+            Routing.Bgp.Snapshot.prefix_count
+              e.Bdrmap.Pipeline.ep_shared.Bdrmap.Pipeline.snapshot )
+        | Some s -> (s.Routing.Bgp.rf_dirty, s.Routing.Bgp.rf_total)
+      in
+      let evals =
+        Bdrmap.Validate.links w' r.Bdrmap.Pipeline.graph
+          r.Bdrmap.Pipeline.inference
+      in
+      { epoch = e.Bdrmap.Pipeline.ep_index;
+        time = e.Bdrmap.Pipeline.ep_time;
+        events = event_counts e.Bdrmap.Pipeline.ep_events;
+        dirty;
+        total_pfx = total;
+        borders = List.length cur;
+        links = Bdrmap.Validate.summarize evals;
+        routers =
+          Bdrmap.Validate.router_accuracy w' r.Bdrmap.Pipeline.graph
+            r.Bdrmap.Pipeline.inference;
+        drift_pct = drift })
+    epochs
+
+let print ppf rows =
+  Format.fprintf ppf
+    "== Experiment LG1: border-map drift under temporal churn ==@.";
+  Format.fprintf ppf "%-5s %9s %6s %5s %7s %9s %9s %7s  %s@." "epoch" "time_h"
+    "dirty" "pfx" "borders" "links" "routers" "drift" "events";
+  List.iter
+    (fun r ->
+      let evs =
+        if r.events = [] then "-"
+        else
+          String.concat " "
+            (List.map
+               (fun (k, n) -> Printf.sprintf "%s=%d" (Evolve.kind_label k) n)
+               r.events)
+      in
+      Format.fprintf ppf "%5d %9.1f %6d %5d %7d %8.1f%% %8.1f%% %6.1f%%  %s@."
+        r.epoch (r.time /. 3600.0) r.dirty r.total_pfx r.borders
+        r.links.Bdrmap.Validate.pct_correct
+        r.routers.Bdrmap.Validate.pct_correct r.drift_pct evs)
+    rows

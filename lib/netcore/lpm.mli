@@ -37,6 +37,20 @@ val value_at : 'a t -> int -> 'a
 (** [find_exact t p] is the value bound to exactly [p], if any. *)
 val find_exact : 'a t -> Prefix.t -> 'a option
 
+(** [remap_values f t] rewrites every bound value through [f], keeping
+    the prefix set and all index structure intact. *)
+val remap_values : ('a -> 'a) -> 'a t -> 'a t
+
+(** [patch t ~remove ~add ~remap] is the incremental form of rebuild:
+    structurally identical to [build] over [t]'s bindings with [remove]
+    dropped, surviving values rewritten through [remap], and [add]
+    appended (an added prefix overwrites an existing binding; among
+    duplicate adds the later wins, mirroring {!build}). Only root slots
+    and buckets covered by a removed or added prefix are recomputed;
+    everything else is index-translated. [t] is unchanged. *)
+val patch :
+  'a t -> remove:Prefix.t list -> add:(Prefix.t * 'a) list -> remap:('a -> 'a) -> 'a t
+
 (** Number of (deduplicated) prefixes frozen into the table. *)
 val length : 'a t -> int
 

@@ -112,7 +112,9 @@ let bench_series json =
               acc :=
                 num_fields (prefix ^ "." ^ n)
                   (List.filter
-                     (fun (k, v) -> Json.to_float v <> None && k <> "intensity")
+                     (fun (k, v) ->
+                       Json.to_float v <> None && k <> "intensity"
+                       && k <> "epoch")
                      fields)
                   !acc
             | None -> ())
@@ -124,6 +126,12 @@ let bench_series json =
   rows "experiments" ~name_of:(str_field "name") ~prefix:"experiment";
   rows "stages" ~name_of:(str_field "stage") ~prefix:"stage";
   rows "corpus" ~name_of:(str_field "scenario") ~prefix:"corpus";
+  rows "churn" ~name_of:(str_field "name") ~prefix:"churn";
+  rows "longitudinal"
+    ~name_of:(fun fields ->
+      Option.map (Printf.sprintf "%g")
+        (Option.bind (List.assoc_opt "epoch" fields) Json.to_float))
+    ~prefix:"longitudinal";
   rows "serve" ~name_of:(str_field "name") ~prefix:"serve";
   rows "micro" ~name_of:(str_field "name") ~prefix:"micro";
   rows "metrics" ~name_of:(str_field "name") ~prefix:"metric";

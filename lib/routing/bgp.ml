@@ -388,11 +388,11 @@ let collector_view t collectors =
         rib collectors)
     B.Rib.empty (prefixes t)
 
-let freeze t =
+let freeze ?(counter = "routing.snapshot.builds") t =
   match t.frozen with
   | Some s -> s
   | None ->
-    Obs.Metrics.incr "routing.snapshot.builds";
+    Obs.Metrics.incr counter;
     let s_pfx = Array.of_list t.prefixes_memo in
     let asn_set = Asn.Set.union (Net.asns t.net) (B.As_rel.asns t.rels) in
     let s_asns = Array.of_list (Asn.Set.elements asn_set) in
@@ -459,6 +459,315 @@ let freeze t =
       s_words;
       s_arena;
       s_lpm = Lpm.build (List.mapi (fun i p -> (p, i)) t.prefixes_memo) }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-freeze: dirty-prefix deltas over a frozen snapshot.  *)
+
+(* A batch of topology changes in the vocabulary the delta path needs
+   (produced by [Topogen.Evolve]). The contract that keeps the patch
+   sound:
+   - new ASes are pure stubs (provider relationships only, providers
+     all present in the old snapshot) with ASNs strictly above every
+     ASN the old snapshot interned, so they append to the end of the
+     sorted slot table and every old slot survives verbatim;
+   - [ch_removed_edges] lists every AS pair whose relationship was
+     dropped. Such a drop dirties exactly the prefixes where either
+     endpoint held the other in its next-hop segment: an edge outside
+     every next-hop set carries no best route and feeds no distance
+     table, so removing it cannot change any AS's table for that
+     prefix (transitive effects always pass through a next hop);
+   - [ch_dirty_prefixes] lists every surviving prefix whose origin set
+     changed;
+   - [ch_removed_prefixes] / new prefixes are detected from the prefix
+     sets themselves;
+   - [ch_links_changed] lists AS pairs whose physical interconnects
+     changed without a relationship change — invisible to BGP, dirt
+     for the forwarding plan only. *)
+type churn = {
+  ch_removed_edges : (Asn.t * Asn.t) list;
+  ch_new_stubs : (Asn.t * Asn.Set.t) list;
+  ch_dirty_prefixes : Prefix.t list;
+  ch_removed_prefixes : Prefix.t list;
+  ch_links_changed : (Asn.t * Asn.t) list;
+}
+
+let no_churn =
+  { ch_removed_edges = []; ch_new_stubs = []; ch_dirty_prefixes = [];
+    ch_removed_prefixes = []; ch_links_changed = [] }
+
+(* Fold a [Topogen.Evolve] event batch into the delta vocabulary. The
+   mapping relies on the evolution invariants: aggregate/deaggregate
+   replace prefixes (the replacements are detected as new, the old ones
+   land in [ch_removed_prefixes]), link add/remove keep relationships
+   intact (forwarding dirt only), and a new customer is a pure stub. *)
+let churn_of_events evs =
+  let module E = Topogen.Evolve in
+  List.fold_left
+    (fun c (te : E.timed) ->
+      match te.E.ev with
+      | E.Added_link { x; y; _ } | E.Removed_link { x; y; _ } ->
+        { c with ch_links_changed = (x, y) :: c.ch_links_changed }
+      | E.Customer_joined { asn; providers; _ } ->
+        { c with ch_new_stubs = (asn, providers) :: c.ch_new_stubs }
+      | E.Depeered { x; y } ->
+        { c with ch_removed_edges = (x, y) :: c.ch_removed_edges }
+      | E.Aggregated { halves = h1, h2; _ } ->
+        { c with ch_removed_prefixes = h1 :: h2 :: c.ch_removed_prefixes }
+      | E.Deaggregated { parent; _ } ->
+        { c with ch_removed_prefixes = parent :: c.ch_removed_prefixes })
+    no_churn evs
+
+type refreeze_stats = {
+  rf_total : int;
+  rf_dirty : int;
+  rf_dirty_prefixes : Prefix.t list;
+  rf_fallback : bool;
+}
+
+(* [refreeze t ~old churn]: [t] is the fresh (unfrozen) propagation
+   state of the post-churn world, [old] the pre-churn snapshot. Only
+   dirty prefixes re-propagate; every clean row is a Bigarray blit
+   whose packed words stay valid verbatim because the old arena is the
+   new arena's prefix and old ASN slots are stable. New-AS columns on
+   clean rows are filled by the stub rule: a pure stub's only possible
+   route is a provider route one hop past its providers' best — the
+   same answer [compute] derives, since a stub feeds nothing back into
+   anyone else's table. If the append-only ASN contract is violated,
+   the patch degrades to a full recompute (counted under
+   [routing.snapshot.patch_fallbacks]) rather than guessing. *)
+let refreeze t ~old churn =
+  Obs.Metrics.incr "routing.snapshot.patches";
+  let s_pfx = Array.of_list t.prefixes_memo in
+  let asn_set = Asn.Set.union (Net.asns t.net) (B.As_rel.asns t.rels) in
+  let s_asns = Array.of_list (Asn.Set.elements asn_set) in
+  let n = Array.length s_asns in
+  let np = Array.length s_pfx in
+  let n_old = Array.length old.s_asns in
+  let np_old = Array.length old.s_pfx in
+  let asns_ok =
+    n >= n_old
+    &&
+    let ok = ref true in
+    for i = 0 to n_old - 1 do
+      if not (Asn.equal s_asns.(i) old.s_asns.(i)) then ok := false
+    done;
+    !ok
+  in
+  let stub_providers = Asn.Tbl.create 8 in
+  List.iter
+    (fun (c, provs) -> Asn.Tbl.replace stub_providers c provs)
+    churn.ch_new_stubs;
+  let stubs_ok = ref true in
+  for i = n_old to n - 1 do
+    match Asn.Tbl.find_opt stub_providers s_asns.(i) with
+    | None -> stubs_ok := false
+    | Some provs ->
+      Asn.Set.iter
+        (fun pr ->
+          if slot_of_array Asn.compare old.s_asns pr < 0 then stubs_ok := false)
+        provs
+  done;
+  let fallback = not (asns_ok && !stubs_ok) in
+  if fallback then Obs.Metrics.incr "routing.snapshot.patch_fallbacks";
+  (* Old pslot <-> new pslot translation by merge walk (both sorted). *)
+  let old2new = Array.make (max 1 np_old) (-1) in
+  let new2old = Array.make (max 1 np) (-1) in
+  let i = ref 0 and j = ref 0 in
+  while !i < np_old && !j < np do
+    match Prefix.compare old.s_pfx.(!i) s_pfx.(!j) with
+    | 0 ->
+      old2new.(!i) <- !j;
+      new2old.(!j) <- !i;
+      incr i;
+      incr j
+    | c when c < 0 -> incr i
+    | _ -> incr j
+  done;
+  let dirty = Array.make (max 1 np) fallback in
+  List.iter
+    (fun p ->
+      let s = slot_of_array Prefix.compare s_pfx p in
+      if s >= 0 then dirty.(s) <- true)
+    churn.ch_dirty_prefixes;
+  for pn = 0 to np - 1 do
+    if new2old.(pn) < 0 then dirty.(pn) <- true
+  done;
+  if not fallback then begin
+    let seg_mem w target =
+      let off = w_off w in
+      let hi = off + w_count w in
+      let found = ref false in
+      for k = off to hi - 1 do
+        if Bigarray.Array1.get old.s_arena k = target then found := true
+      done;
+      !found
+    in
+    List.iter
+      (fun (x, y) ->
+        let ax = slot_of_array Asn.compare old.s_asns x
+        and ay = slot_of_array Asn.compare old.s_asns y in
+        if ax >= 0 && ay >= 0 then
+          for po = 0 to np_old - 1 do
+            let pn = old2new.(po) in
+            if pn >= 0 && not dirty.(pn) then begin
+              let wx = word_at old ~pslot:po ~aslot:ax in
+              if wx <> 0 && seg_mem wx ay then dirty.(pn) <- true
+              else
+                let wy = word_at old ~pslot:po ~aslot:ay in
+                if wy <> 0 && seg_mem wy ax then dirty.(pn) <- true
+            end
+          done)
+      churn.ch_removed_edges
+  end;
+  let aslot_tbl = Asn.Tbl.create ((2 * n) + 1) in
+  Array.iteri (fun i a -> Asn.Tbl.replace aslot_tbl a i) s_asns;
+  let aslot_of a =
+    match Asn.Tbl.find_opt aslot_tbl a with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Bgp.refreeze: next hop AS%d unknown" a)
+  in
+  let words = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (np * n) in
+  Bigarray.Array1.fill words 0;
+  (* The new arena starts as a verbatim copy of the old one, so clean
+     rows' packed offsets remain valid; fresh segments append past it.
+     (Appended segments dedupe among themselves only — a duplicate of
+     an old segment wastes a few words, never correctness.) *)
+  let old_alen = if fallback then 0 else Bigarray.Array1.dim old.s_arena in
+  let arena = ref (Array.make (max 1024 (2 * max 1 old_alen)) 0) in
+  let alen = ref old_alen in
+  for k = 0 to old_alen - 1 do
+    !arena.(k) <- Bigarray.Array1.get old.s_arena k
+  done;
+  let segments : (int list, int) Hashtbl.t = Hashtbl.create 256 in
+  let intern_segment slots =
+    match Hashtbl.find_opt segments slots with
+    | Some off -> off
+    | None ->
+      let off = !alen in
+      List.iter
+        (fun s ->
+          if !alen >= Array.length !arena then begin
+            let bigger = Array.make (2 * Array.length !arena) 0 in
+            Array.blit !arena 0 bigger 0 !alen;
+            arena := bigger
+          end;
+          !arena.(!alen) <- s;
+          incr alen)
+        slots;
+      Hashtbl.replace segments slots off;
+      off
+  in
+  let stub_cols =
+    if fallback then [||]
+    else
+      Array.init (n - n_old) (fun k ->
+          let provs = Asn.Tbl.find stub_providers s_asns.(n_old + k) in
+          List.map (fun pr -> (aslot_of pr, pr)) (Asn.Set.elements provs))
+  in
+  let n_dirty = ref 0 in
+  for pn = 0 to np - 1 do
+    let p = s_pfx.(pn) in
+    let base = pn * n in
+    if dirty.(pn) then begin
+      incr n_dirty;
+      let tbl = compute t p in
+      Asn.Tbl.iter
+        (fun asn (r : route) ->
+          let slots = List.map aslot_of (Asn.Set.elements r.nexthops) in
+          let off = intern_segment slots in
+          Bigarray.Array1.set words (base + aslot_of asn)
+            (pack_word ~cls:r.cls ~dist:r.dist ~count:(List.length slots) ~off))
+        tbl
+    end
+    else begin
+      let po = new2old.(pn) in
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub old.s_words (po * n_old) n_old)
+        (Bigarray.Array1.sub words base n_old);
+      if n > n_old then begin
+        let os = origins t p in
+        Array.iteri
+          (fun k provs ->
+            if not (Asn.Set.mem s_asns.(n_old + k) os) then begin
+              let dist_of pr pa =
+                if Asn.Set.mem pr os then 0
+                else
+                  match word_at old ~pslot:po ~aslot:pa with
+                  | 0 -> max_int
+                  | w -> w_dist w
+              in
+              let best = ref max_int in
+              List.iter
+                (fun (pa, pr) ->
+                  let d = dist_of pr pa in
+                  if d < !best then best := d)
+                provs;
+              if !best < max_int then begin
+                let hop_slots =
+                  List.filter_map
+                    (fun (pa, pr) -> if dist_of pr pa = !best then Some pa else None)
+                    provs
+                in
+                let off = intern_segment hop_slots in
+                Bigarray.Array1.set words (base + n_old + k)
+                  (pack_word ~cls:Prov ~dist:(!best + 1)
+                     ~count:(List.length hop_slots) ~off)
+              end
+            end)
+          stub_cols
+      end
+    end
+  done;
+  let s_arena = Bigarray.Array1.create Bigarray.int Bigarray.c_layout !alen in
+  for k = 0 to !alen - 1 do
+    Bigarray.Array1.set s_arena k !arena.(k)
+  done;
+  (* LPM: share when the prefix set is untouched (the single-link fast
+     path does zero LPM work); otherwise patch only the slots a removed
+     or added prefix covers. *)
+  let prefixes_unchanged =
+    np = np_old
+    &&
+    let ok = ref true in
+    for k = 0 to np - 1 do
+      if not (Prefix.equal s_pfx.(k) old.s_pfx.(k)) then ok := false
+    done;
+    !ok
+  in
+  let s_lpm =
+    if prefixes_unchanged then old.s_lpm
+    else begin
+      let removed = ref [] and added = ref [] in
+      for po = np_old - 1 downto 0 do
+        if old2new.(po) < 0 then removed := old.s_pfx.(po) :: !removed
+      done;
+      for pn = np - 1 downto 0 do
+        if new2old.(pn) < 0 then added := (s_pfx.(pn), pn) :: !added
+      done;
+      Lpm.patch old.s_lpm ~remove:!removed ~add:!added
+        ~remap:(fun po -> old2new.(po))
+    end
+  in
+  Obs.Metrics.add "routing.snapshot.dirty_prefixes" !n_dirty;
+  let dirty_prefixes = ref [] in
+  for pn = np - 1 downto 0 do
+    if dirty.(pn) then dirty_prefixes := s_pfx.(pn) :: !dirty_prefixes
+  done;
+  ( { s_net = t.net;
+      s_rels = t.rels;
+      s_origin_trie = t.origin_trie;
+      s_originated = t.originated;
+      s_selective = t.selective;
+      s_prefixes = t.prefixes_memo;
+      s_asns;
+      s_pfx;
+      s_words = words;
+      s_arena;
+      s_lpm },
+    { rf_total = np;
+      rf_dirty = !n_dirty;
+      rf_dirty_prefixes = !dirty_prefixes;
+      rf_fallback = fallback } )
 
 let of_snapshot s =
   Obs.Metrics.incr "routing.snapshot.attaches";
@@ -542,6 +851,81 @@ module Snapshot = struct
     let i = Lpm.lookup_idx s.s_lpm addr in
     if i < 0 then -1 else Lpm.value_at s.s_lpm i
 
+  (* Semantic equality between two snapshots of the same world:
+     identical interning axes, then every packed word decode-equal
+     (class, dist, and next-hop slot segment compared element-wise, so
+     two arenas laid out in different interning order still compare
+     equal), then LPM agreement probed at every prefix boundary (first,
+     last, and the addresses just outside). This is the oracle the
+     churn tests run after every event batch: patched == from-scratch. *)
+  exception Mismatch of string
+
+  let equal a b =
+    let fail fmt = Printf.ksprintf (fun m -> raise (Mismatch m)) fmt in
+    try
+      let n = Array.length a.s_asns and np = Array.length a.s_pfx in
+      if Array.length b.s_asns <> n then
+        fail "asn counts differ: %d vs %d" n (Array.length b.s_asns);
+      if Array.length b.s_pfx <> np then
+        fail "prefix counts differ: %d vs %d" np (Array.length b.s_pfx);
+      for i = 0 to n - 1 do
+        if not (Asn.equal a.s_asns.(i) b.s_asns.(i)) then
+          fail "asn slot %d differs: AS%d vs AS%d" i a.s_asns.(i) b.s_asns.(i)
+      done;
+      for i = 0 to np - 1 do
+        if not (Prefix.equal a.s_pfx.(i) b.s_pfx.(i)) then
+          fail "prefix slot %d differs: %s vs %s" i
+            (Prefix.to_string a.s_pfx.(i))
+            (Prefix.to_string b.s_pfx.(i))
+      done;
+      for pslot = 0 to np - 1 do
+        for aslot = 0 to n - 1 do
+          let wa = word_at a ~pslot ~aslot and wb = word_at b ~pslot ~aslot in
+          let ctx () =
+            Printf.sprintf "(%s, AS%d)"
+              (Prefix.to_string a.s_pfx.(pslot))
+              a.s_asns.(aslot)
+          in
+          if (wa = 0) <> (wb = 0) then
+            fail "route presence differs at %s" (ctx ());
+          if wa <> 0 then begin
+            if wa land 3 <> wb land 3 then fail "route class differs at %s" (ctx ());
+            if w_dist wa <> w_dist wb then
+              fail "route dist differs at %s: %d vs %d" (ctx ()) (w_dist wa)
+                (w_dist wb);
+            if w_count wa <> w_count wb then
+              fail "next-hop count differs at %s: %d vs %d" (ctx ()) (w_count wa)
+                (w_count wb);
+            for k = 0 to w_count wa - 1 do
+              if
+                Bigarray.Array1.get a.s_arena (w_off wa + k)
+                <> Bigarray.Array1.get b.s_arena (w_off wb + k)
+              then fail "next-hop %d differs at %s" k (ctx ())
+            done
+          end
+        done
+      done;
+      if Lpm.length a.s_lpm <> Lpm.length b.s_lpm then
+        fail "LPM sizes differ: %d vs %d" (Lpm.length a.s_lpm)
+          (Lpm.length b.s_lpm);
+      let probe addr =
+        let pa = lookup_pslot a addr and pb = lookup_pslot b addr in
+        if pa <> pb then
+          fail "LPM answers differ at %s: slot %d vs %d" (Ipv4.to_string addr) pa
+            pb
+      in
+      Array.iter
+        (fun p ->
+          probe (Prefix.first p);
+          probe (Prefix.last p);
+          let f = Ipv4.to_int (Prefix.first p)
+          and l = Ipv4.to_int (Prefix.last p) in
+          if f > 0 then probe (Ipv4.of_int (f - 1));
+          if l < 0xFFFF_FFFF then probe (Ipv4.of_int (l + 1)))
+        a.s_pfx;
+      Ok ()
+    with Mismatch m -> Error m
+
   (* {2 Serialization}
 
      A snapshot entry is raw packed arenas plus marshaled boxed
@@ -573,7 +957,9 @@ module Snapshot = struct
     | Bad_version v -> Printf.sprintf "unsupported version %d" v
     | Corrupt -> "corrupt"
 
-  let codec_version = 1
+  (* v2: Net.link gained the [live] retirement flag (marshaled inside
+     the metadata tuple), so v1 entries no longer decode. *)
+  let codec_version = 2
   let magic = "BDSN"
   let header_len = 32
 

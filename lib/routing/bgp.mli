@@ -91,8 +91,62 @@ type snapshot
     freezes the results. Answers are identical to the lazy path:
     [Snapshot.route (freeze t) asn p = route t asn p] for all inputs.
     Idempotent on an already-frozen [t]. Counted under the
-    [routing.snapshot.builds] metric. *)
-val freeze : t -> snapshot
+    [routing.snapshot.builds] metric by default; [?counter] redirects
+    the count (validation and bench scratch freezes use
+    ["routing.snapshot.scratch_builds"] so build accounting gates stay
+    meaningful). *)
+val freeze : ?counter:string -> t -> snapshot
+
+(** {1 Incremental re-freeze}
+
+    A batch of topology changes expressed in the vocabulary the delta
+    path needs; produced by [Topogen.Evolve.advance]. The soundness
+    contract is documented on {!refreeze}. *)
+type churn = {
+  ch_removed_edges : (Asn.t * Asn.t) list;
+      (** AS pairs whose relationship was dropped (depeering) *)
+  ch_new_stubs : (Asn.t * Asn.Set.t) list;
+      (** new stub ASes with their provider sets; ASNs must sort above
+          every existing ASN and providers must already exist *)
+  ch_dirty_prefixes : Prefix.t list;
+      (** surviving prefixes whose origin set changed *)
+  ch_removed_prefixes : Prefix.t list;  (** prefixes withdrawn entirely *)
+  ch_links_changed : (Asn.t * Asn.t) list;
+      (** AS pairs whose physical links changed with the relationship
+          intact — BGP-invisible, forwarding-plan dirt only *)
+}
+
+(** The empty batch: [refreeze t ~old no_churn] patches nothing. *)
+val no_churn : churn
+
+(** [churn_of_events evs] folds a [Topogen.Evolve] event batch into the
+    delta vocabulary, relying on the evolution invariants (new
+    customers are pure stubs, link add/remove keep relationships
+    intact, aggregate/deaggregate replace prefixes). *)
+val churn_of_events : Topogen.Evolve.timed list -> churn
+
+type refreeze_stats = {
+  rf_total : int;  (** prefixes in the new snapshot *)
+  rf_dirty : int;  (** prefixes re-propagated *)
+  rf_dirty_prefixes : Prefix.t list;
+      (** the re-propagated prefixes, sorted — the forwarding plan
+          patches exactly these columns *)
+  rf_fallback : bool;
+      (** the append-only ASN contract was violated and the patch
+          degraded to a full recompute *)
+}
+
+(** [refreeze t ~old churn] is the incremental form of {!freeze}: [t]
+    is the fresh propagation state of the post-churn world, [old] the
+    pre-churn snapshot. Only dirty prefixes (changed origins, new
+    prefixes, and prefixes where a removed edge appeared in a next-hop
+    segment) re-propagate; clean rows are blitted, new-stub columns are
+    derived from their providers' packed words, and the LPM is shared
+    (prefix set unchanged) or slot-patched. The result is semantically
+    identical to [freeze] of [t] from scratch ({!Snapshot.equal}).
+    Counted under [routing.snapshot.patches], with the dirty count
+    under [routing.snapshot.dirty_prefixes]. *)
+val refreeze : t -> old:snapshot -> churn -> snapshot * refreeze_stats
 
 (** [of_snapshot s] is a [t] answering from the frozen tables (with
     private, empty caches — never mutated on the frozen read path).
@@ -152,6 +206,15 @@ module Snapshot : sig
 
   (** Total length of the interned next-hop arena (diagnostics). *)
   val arena_length : t -> int
+
+  (** [equal a b] is semantic equality between two snapshots of the
+      same world: identical interning axes, every packed word
+      decode-equal (next-hop segments compared element-wise, so arenas
+      in different interning order still compare equal), and LPM
+      agreement probed at every prefix boundary. The oracle the churn
+      tests run after every event batch. [Error] carries the first
+      mismatch. *)
+  val equal : t -> t -> (unit, string) result
 
   (** {2 Serialization}
 

@@ -342,6 +342,256 @@ let freeze ?(egress_for = Asn.Set.empty) t =
     egress_for;
   plan
 
+(* ------------------------------------------------------------------ *)
+(* Incremental plan patch, the forwarding side of [Bgp.refreeze].      *)
+
+(* [patch ?egress_for t ~old ~churn ~dirty] rebuilds only the plan
+   state reachable from dirty inputs. [t] must be a fresh instance over
+   the post-churn net and a [Bgp.t] attached to the patched snapshot;
+   [old] is the pre-churn plan; [dirty] the BGP-dirty prefixes
+   ([Bgp.refreeze_stats.rf_dirty_prefixes]).
+
+   What can be reused, and why:
+   - IGP distance rows: evolution never touches the *internal* topology
+     of a pre-churn AS (new routers belong to new ASes, link events are
+     interdomain), so an old target's distance row is still exact;
+     routers added since are internally unreachable from it (infinity).
+     Only endpoints that gained a row (new interconnects) run Dijkstra.
+   - Egress cells: a cell (router of AS a, prefix p) is recomputed when
+     p is BGP-dirty (its route may differ), when p left/entered the
+     prefix set, or when some next hop z of a's route has (a, z) in the
+     changed-interconnect set (candidate links differ with the route
+     intact). Everything else scores identically, so the old lid is
+     copied. *)
+let patch ?(egress_for = Asn.Set.empty) t ~old ~(churn : Bgp.churn) ~dirty =
+  Obs.Metrics.incr "routing.plan.patches";
+  let p_between = build_between t.net in
+  let p_routers = Net.router_count t.net in
+  let old_routers = old.p_routers in
+  let p_igp_row = Array.make p_routers (-1) in
+  let igp_targets = ref [] in
+  let igp_rows = ref 0 in
+  List.iter
+    (fun (l : Net.link) ->
+      List.iter
+        (fun rid ->
+          if p_igp_row.(rid) < 0 then begin
+            p_igp_row.(rid) <- !igp_rows;
+            incr igp_rows;
+            igp_targets := rid :: !igp_targets
+          end)
+        [ fst l.Net.a; fst l.Net.b ])
+    (Net.interdomain_links t.net);
+  let p_igp =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+      (!igp_rows * p_routers)
+  in
+  List.iter
+    (fun rid ->
+      let base = p_igp_row.(rid) * p_routers in
+      let orow = if rid < old_routers then old.p_igp_row.(rid) else -1 in
+      if orow >= 0 then begin
+        let obase = orow * old_routers in
+        for i = 0 to old_routers - 1 do
+          Bigarray.Array1.set p_igp (base + i)
+            (Bigarray.Array1.get old.p_igp (obase + i))
+        done;
+        for i = old_routers to p_routers - 1 do
+          Bigarray.Array1.set p_igp (base + i) infinity
+        done
+      end
+      else begin
+        let dist = compute_dist t.net rid in
+        for i = 0 to p_routers - 1 do
+          Bigarray.Array1.set p_igp (base + i) dist.(i)
+        done
+      end)
+    !igp_targets;
+  let p_pfx = Array.of_list (Bgp.prefixes t.bgp) in
+  let np = Array.length p_pfx in
+  let np_old = Array.length old.p_pfx in
+  let new2old = Array.make (max 1 np) (-1) in
+  let i = ref 0 and j = ref 0 in
+  while !i < np_old && !j < np do
+    match Prefix.compare old.p_pfx.(!i) p_pfx.(!j) with
+    | 0 ->
+      new2old.(!j) <- !i;
+      incr i;
+      incr j
+    | c when c < 0 -> incr i
+    | _ -> incr j
+  done;
+  let dirty_col = Array.make (max 1 np) false in
+  List.iter
+    (fun p ->
+      let s = pfx_slot p_pfx p in
+      if s >= 0 then dirty_col.(s) <- true)
+    dirty;
+  for c = 0 to np - 1 do
+    if new2old.(c) < 0 then dirty_col.(c) <- true
+  done;
+  (* ASes whose physical interconnects changed with routing intact
+     (parallel-link add/remove, plus new-stub attachments for safety). *)
+  let changed_with = Asn.Tbl.create 8 in
+  let note (x, y) =
+    let add a b =
+      Asn.Tbl.replace changed_with a
+        (Asn.Set.add b
+           (Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt changed_with a)))
+    in
+    add x y;
+    add y x
+  in
+  List.iter note churn.Bgp.ch_links_changed;
+  List.iter
+    (fun (c, provs) -> Asn.Set.iter (fun pr -> note (c, pr)) provs)
+    churn.Bgp.ch_new_stubs;
+  let p_egr_row = Array.make p_routers (-1) in
+  let egr_rows = ref 0 in
+  Asn.Set.iter
+    (fun asn ->
+      List.iter
+        (fun (r : Net.router) ->
+          if p_egr_row.(r.Net.rid) < 0 then begin
+            p_egr_row.(r.Net.rid) <- !egr_rows;
+            incr egr_rows
+          end)
+        (Net.routers_of t.net asn))
+    egress_for;
+  let p_egress =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout (!egr_rows * np)
+  in
+  Bigarray.Array1.fill p_egress (-2);
+  let plan =
+    { p_routers; p_igp_row; p_igp; p_egr_row; p_pfx; p_egress; p_between }
+  in
+  let scored = { t with plan = Some plan } in
+  let snap = Bgp.snapshot_of t.bgp in
+  let patched_cells = ref 0 in
+  Asn.Set.iter
+    (fun asn ->
+      let aslot =
+        match snap with Some s -> Bgp.Snapshot.asn_slot s asn | None -> -1
+      in
+      let affected =
+        Option.value ~default:Asn.Set.empty (Asn.Tbl.find_opt changed_with asn)
+      in
+      List.iter
+        (fun (r : Net.router) ->
+          let base = p_egr_row.(r.Net.rid) * np in
+          let obase =
+            if r.Net.rid < old_routers && old.p_egr_row.(r.Net.rid) >= 0 then
+              old.p_egr_row.(r.Net.rid) * np_old
+            else -1
+          in
+          Array.iteri
+            (fun pi p ->
+              let route =
+                match snap with
+                | Some s -> Bgp.Snapshot.route_at s ~pslot:pi ~aslot
+                | None -> Bgp.route t.bgp asn p
+              in
+              match route with
+              | None -> ()
+              | Some route ->
+                let reuse =
+                  obase >= 0
+                  && (not dirty_col.(pi))
+                  && (Asn.Set.is_empty affected
+                     || not
+                          (Asn.Set.exists
+                             (fun z -> Asn.Set.mem z route.Bgp.nexthops)
+                             affected))
+                in
+                let v =
+                  if reuse then
+                    Bigarray.Array1.get old.p_egress (obase + new2old.(pi))
+                  else begin
+                    incr patched_cells;
+                    egress_lid scored r.Net.rid p route
+                  end
+                in
+                Bigarray.Array1.set p_egress (base + pi) v)
+            p_pfx)
+        (Net.routers_of t.net asn))
+    egress_for;
+  Obs.Metrics.add "routing.plan.patched_cells" !patched_cells;
+  plan
+
+(* Semantic plan equality, the forwarding-side oracle of the churn
+   tests: a scratch freeze of the post-churn world must agree with the
+   patched plan on every distance row, every egress cell, and the
+   interconnect index. Row *assignment* is compared semantically (same
+   routers planned), contents exactly (both sides derive from the same
+   deterministic Dijkstra). *)
+let plan_equal ~scratch ~patched =
+  let fail fmt = Printf.ksprintf Result.error fmt in
+  let s = scratch and q = patched in
+  if s.p_routers <> q.p_routers then
+    fail "router counts differ: %d vs %d" s.p_routers q.p_routers
+  else if Array.length s.p_pfx <> Array.length q.p_pfx then
+    fail "prefix counts differ: %d vs %d" (Array.length s.p_pfx)
+      (Array.length q.p_pfx)
+  else begin
+    let exception Mismatch of string in
+    let failm fmt = Printf.ksprintf (fun m -> raise (Mismatch m)) fmt in
+    try
+      Array.iteri
+        (fun i p ->
+          if not (Prefix.equal p q.p_pfx.(i)) then
+            failm "prefix slot %d differs: %s vs %s" i (Prefix.to_string p)
+              (Prefix.to_string q.p_pfx.(i)))
+        s.p_pfx;
+      for rid = 0 to s.p_routers - 1 do
+        (match (s.p_igp_row.(rid) >= 0, q.p_igp_row.(rid) >= 0) with
+        | true, false | false, true ->
+          failm "igp row presence differs for router %d" rid
+        | false, false -> ()
+        | true, true ->
+          let sb = s.p_igp_row.(rid) * s.p_routers
+          and qb = q.p_igp_row.(rid) * q.p_routers in
+          for i = 0 to s.p_routers - 1 do
+            let a = Bigarray.Array1.get s.p_igp (sb + i)
+            and b = Bigarray.Array1.get q.p_igp (qb + i) in
+            if not (Float.equal a b) then
+              failm "igp distance to %d from %d differs: %g vs %g" rid i a b
+          done);
+        match (s.p_egr_row.(rid) >= 0, q.p_egr_row.(rid) >= 0) with
+        | true, false | false, true ->
+          failm "egress row presence differs for router %d" rid
+        | false, false -> ()
+        | true, true ->
+          let np = Array.length s.p_pfx in
+          let sb = s.p_egr_row.(rid) * np and qb = q.p_egr_row.(rid) * np in
+          for c = 0 to np - 1 do
+            let a = Bigarray.Array1.get s.p_egress (sb + c)
+            and b = Bigarray.Array1.get q.p_egress (qb + c) in
+            if a <> b then
+              failm "egress for router %d prefix %s differs: %d vs %d" rid
+                (Prefix.to_string s.p_pfx.(c))
+                a b
+          done
+      done;
+      let lids tbl key =
+        List.sort Int.compare
+          (List.map
+             (fun (l : Net.link) -> l.Net.lid)
+             (Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+      in
+      Hashtbl.iter
+        (fun key _ ->
+          if lids s.p_between key <> lids q.p_between key then
+            failm "interconnect index differs for (AS%d, AS%d)" (fst key)
+              (snd key))
+        s.p_between;
+      if Hashtbl.length s.p_between <> Hashtbl.length q.p_between then
+        failm "interconnect index sizes differ: %d vs %d"
+          (Hashtbl.length s.p_between)
+          (Hashtbl.length q.p_between);
+      Ok ()
+    with Mismatch m -> Error m
+  end
+
 type hop = Deliver | Sink | Forward of Net.link | Unreachable
 
 let local_iface r addr =

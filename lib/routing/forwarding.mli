@@ -38,6 +38,35 @@ val create : ?plan:plan -> Net.t -> Bgp.t -> t
     [routing.plan.builds] metric. *)
 val freeze : ?egress_for:Asn.Set.t -> t -> plan
 
+(** [patch ?egress_for t ~old ~churn ~dirty] is the incremental form of
+    {!freeze}: [t] must be a fresh instance over the post-churn net and
+    a [Bgp.t] attached to the patched snapshot, [old] the pre-churn
+    plan, [dirty] the BGP-dirty prefixes
+    ([Bgp.refreeze_stats.rf_dirty_prefixes]). IGP distance rows of
+    pre-churn routers are copied (evolution never alters the internal
+    topology of an existing AS); only new interconnect endpoints run
+    Dijkstra. Egress cells are re-scored only for BGP-dirty prefix
+    columns, new prefixes, and routes whose next-hop set intersects an
+    AS pair with changed physical links; every other cell is copied.
+    The result satisfies {!plan_equal} against a scratch [freeze] of
+    [t]. Counted under [routing.plan.patches], with recomputed cells
+    under [routing.plan.patched_cells]. *)
+val patch :
+  ?egress_for:Asn.Set.t ->
+  t ->
+  old:plan ->
+  churn:Bgp.churn ->
+  dirty:Prefix.t list ->
+  plan
+
+(** [plan_equal ~scratch ~patched] is semantic equality between two
+    plans of the same world: identical router/prefix axes, the same set
+    of planned distance rows with exactly equal contents, the same
+    egress rows cell for cell, and the same interdomain-link index. The
+    forwarding-side oracle of the churn tests. [Error] carries the
+    first mismatch. *)
+val plan_equal : scratch:plan -> patched:plan -> (unit, string) result
+
 type hop =
   | Deliver  (** the destination address is on this router *)
   | Sink  (** this router is the home of the prefix; no such host *)

@@ -10,7 +10,7 @@ type stats = {
 let stats_create () = { queries = 0; requests = 0; connections = 0; errors = 0 }
 
 type ctx = {
-  qmap : Qmap.t;
+  mutable qmap : Qmap.t;
   stats : stats;
   exposition : unit -> string;
   minor_words : unit -> int;
@@ -155,10 +155,12 @@ type t = {
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   stopped : bool Atomic.t;
+  reload_requested : bool Atomic.t;
+  reload : (unit -> Qmap.t option) option;
   mutable conns : conn list;
 }
 
-let create ?exposition ?minor_words ~path qmap =
+let create ?exposition ?minor_words ?reload ~path qmap =
   (* A stale socket file from a killed predecessor would make bind fail;
      it can never be a live server (we would fail to listen anyway), so
      replace it. Only ever unlink sockets — anything else at [path] is
@@ -181,6 +183,8 @@ let create ?exposition ?minor_words ~path qmap =
     stop_r;
     stop_w;
     stopped = Atomic.make false;
+    reload_requested = Atomic.make false;
+    reload;
     conns = [] }
 
 let socket_path t = t.path
@@ -191,6 +195,37 @@ let stats t = t.ctx.stats
 let stop t =
   if not (Atomic.exchange t.stopped true) then
     try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+(* Same signal-handler-safe shape as {!stop}: flag plus self-pipe wake.
+   The actual rebuild runs later, inside the event loop, where it may
+   allocate and take time — open connections stall for the rebuild but
+   are never dropped. *)
+let request_reload t =
+  if t.reload <> None then begin
+    Atomic.set t.reload_requested true;
+    try ignore (Unix.write t.stop_w (Bytes.make 1 'r') 0 1)
+    with Unix.Unix_error _ -> ()
+  end
+
+(* The self-pipe woke the select: drain it, and if the wake was a
+   reload request (not a stop), swap in the freshly compiled map. The
+   swap is one mutable-field store of an immutable [Qmap.t] — queries
+   before it answer from the old map, queries after from the new one,
+   never a torn mix. A reload callback returning [None] (e.g. the map
+   file failed to parse) keeps the old map. *)
+let handle_wakeups t =
+  let b = Bytes.create 16 in
+  (try ignore (Unix.read t.stop_r b 0 16) with Unix.Unix_error _ -> ());
+  if (not (Atomic.get t.stopped)) && Atomic.exchange t.reload_requested false
+  then
+    match t.reload with
+    | None -> ()
+    | Some f -> (
+      match f () with
+      | Some q ->
+        t.ctx.qmap <- q;
+        Obs.Metrics.incr "serve.reloads"
+      | None -> ())
 
 let write_all fd buf len =
   let off = ref 0 in
@@ -302,7 +337,8 @@ let run t =
         match Unix.select fds [] [] (-1.0) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | ready, _, _ ->
-          if not (List.memq t.stop_r ready) then begin
+          if List.memq t.stop_r ready then handle_wakeups t;
+          if not (Atomic.get t.stopped) then begin
             if List.memq t.listen_fd ready then accept t;
             (* Iterate a snapshot: [read_conn] may drop connections. *)
             List.iter (fun c -> if List.memq c.fd ready then read_conn t c) t.conns

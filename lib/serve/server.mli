@@ -49,10 +49,19 @@ type t
 (** [create ~path qmap] binds and listens on the Unix-domain socket at
     [path], replacing a stale socket file left by a killed predecessor
     (only ever unlinking sockets — any other file there surfaces as the
-    bind error it is). *)
+    bind error it is).
+
+    [?reload] compiles a replacement query map when {!request_reload}
+    fires (e.g. from a SIGHUP handler). It runs inside the event loop —
+    free to allocate and take time — and its result is swapped in with
+    a single store, so open connections stall during the rebuild but
+    are never dropped, and no query ever sees a torn map. Returning
+    [None] (a failed rebuild) keeps the current map. Each successful
+    swap bumps the [serve.reloads] counter. *)
 val create :
   ?exposition:(unit -> string) ->
   ?minor_words:(unit -> int) ->
+  ?reload:(unit -> Qmap.t option) ->
   path:string ->
   Qmap.t ->
   t
@@ -67,3 +76,8 @@ val run : t -> unit
 (** [stop t] wakes and terminates {!run}. Idempotent; safe from a
     signal handler or another domain. *)
 val stop : t -> unit
+
+(** [request_reload t] asks the event loop to rebuild and swap the
+    query map via [create]'s [?reload] callback. Safe from a signal
+    handler or another domain; a no-op when no callback was given. *)
+val request_reload : t -> unit

@@ -2,7 +2,10 @@ open Netcore
 
 type t = { mutable next : int }
 
-let create () = { next = Ipv4.to_int (Ipv4.of_octets 1 0 0 0) }
+let create ?first () =
+  match first with
+  | None -> { next = Ipv4.to_int (Ipv4.of_octets 1 0 0 0) }
+  | Some a -> { next = Ipv4.to_int a }
 
 (* Last allocatable address: everything at 224.0.0.0 and above is
    multicast or class E. A block must fit entirely at or below this. *)

@@ -8,8 +8,11 @@ open Netcore
 type t
 
 (** [create ()] starts allocating at 1.0.0.0 and skips reserved and
-    private ranges. *)
-val create : unit -> t
+    private ranges. [?first] starts the cursor higher — a second
+    allocator that must stay disjoint from an existing one (world
+    evolution) passes the first address above everything already
+    handed out. *)
+val create : ?first:Ipv4.t -> unit -> t
 
 (** [alloc_block t len] is a fresh /len block. Raises
     [Invalid_argument] (in {!Gen.validate_params}' fail-fast style) when

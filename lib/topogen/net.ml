@@ -48,6 +48,7 @@ type link = {
   a : int * Ipv4.t;
   b : int * Ipv4.t;
   weight : float;
+  live : bool;
 }
 
 (* Growable vectors keep router/link ids dense, which lets the routing
@@ -75,7 +76,8 @@ let dummy_router =
     canonical = None; ifaces = [] }
 
 let dummy_link =
-  { lid = -1; kind = Internal; a = (-1, Ipv4.zero); b = (-1, Ipv4.zero); weight = 0.0 }
+  { lid = -1; kind = Internal; a = (-1, Ipv4.zero); b = (-1, Ipv4.zero);
+    weight = 0.0; live = false }
 
 let create () =
   { as_map = Asn.Map.empty;
@@ -130,7 +132,10 @@ let routers_of t asn =
   !acc
 
 let add_link t kind (r1, a1) (r2, a2) ~weight =
-  let l = { lid = t.nlinks; kind; a = (r1.rid, a1); b = (r2.rid, a2); weight } in
+  let l =
+    { lid = t.nlinks; kind; a = (r1.rid, a1); b = (r2.rid, a2); weight;
+      live = true }
+  in
   t.links <- grow t.links t.nlinks dummy_link;
   t.links.(t.nlinks) <- l;
   t.nlinks <- t.nlinks + 1;
@@ -146,7 +151,33 @@ let link t lid =
   t.links.(lid)
 
 let link_count t = t.nlinks
-let links t = Array.to_list (Array.sub t.links 0 t.nlinks)
+
+let links t =
+  let acc = ref [] in
+  for i = t.nlinks - 1 downto 0 do
+    if t.links.(i).live then acc := t.links.(i) :: !acc
+  done;
+  !acc
+
+(* Retire a link in place: lids stay dense (flat per-lid arrays in the
+   forwarding plan remain valid), but the link stops appearing in
+   [links]/[neighbors], its interface records are stripped from both
+   routers, and the interface addresses leave the probe-visible address
+   index (unless the address also serves as a router's canonical). *)
+let remove_link t lid =
+  if lid < 0 || lid >= t.nlinks then invalid_arg "Net.remove_link: bad id";
+  let l = t.links.(lid) in
+  if l.live then begin
+    t.links.(lid) <- { l with live = false };
+    let strip (rid, addr) =
+      let r = t.routers.(rid) in
+      r.ifaces <- List.filter (fun i -> i.link <> lid) r.ifaces;
+      if r.canonical <> Some addr then Ipv4.Tbl.remove t.addr_index addr
+    in
+    strip l.a;
+    strip l.b;
+    t.adjacency_valid <- false
+  end
 
 let peer_of _t l rid =
   if fst l.a = rid then l.b
@@ -157,9 +188,11 @@ let rebuild_adjacency t =
   let adj = Array.make t.nrouters [] in
   for i = t.nlinks - 1 downto 0 do
     let l = t.links.(i) in
-    let ra, _ = l.a and rb, _ = l.b in
-    adj.(ra) <- (l, rb) :: adj.(ra);
-    adj.(rb) <- (l, ra) :: adj.(rb)
+    if l.live then begin
+      let ra, _ = l.a and rb, _ = l.b in
+      adj.(ra) <- (l, rb) :: adj.(ra);
+      adj.(rb) <- (l, ra) :: adj.(rb)
+    end
   done;
   t.adjacency <- adj;
   t.adjacency_valid <- true

@@ -82,6 +82,7 @@ type link = {
   a : int * Ipv4.t;  (** router id, interface address *)
   b : int * Ipv4.t;
   weight : float;  (** IGP metric (geographic distance based) *)
+  live : bool;  (** false once retired by {!remove_link} *)
 }
 
 type t
@@ -105,8 +106,19 @@ val routers_of : t -> Asn.t -> router list
 val add_link : t -> link_kind -> router * Ipv4.t -> router * Ipv4.t -> weight:float -> link
 
 val link : t -> int -> link
+
 val link_count : t -> int
+(** Allocated link slots, including retired ones: lids stay dense so
+    flat per-lid arrays remain valid across {!remove_link}. *)
+
 val links : t -> link list
+(** Live links only. *)
+
+(** [remove_link t lid] retires a link in place: it disappears from
+    {!links}/{!neighbors}, both routers drop the interface, and the
+    interface addresses leave the address index (canonical addresses
+    stay). Idempotent; the lid remains allocated. *)
+val remove_link : t -> int -> unit
 
 (** [peer_of t link rid] is the far (router, address) of [link] seen from
     router [rid]. *)

@@ -1,0 +1,224 @@
+(* Temporal churn: every evolution event class applied to a small
+   world, with the incremental re-freeze (Bgp.refreeze + Lpm patching +
+   Forwarding.patch) pinned byte-identical to a from-scratch freeze of
+   the evolved world — packed words, arena, every LPM answer, every
+   IGP row and egress cell. Plus a QCheck property chaining random
+   multi-class event batches across epochs, shrinking to one seed. *)
+
+open Netcore
+module Gen = Topogen.Gen
+module Evolve = Topogen.Evolve
+module Bgp = Routing.Bgp
+module Fwd = Routing.Forwarding
+
+let fresh_bgp (w : Gen.world) =
+  Bgp.create w.Gen.net w.Gen.rels_truth ~originated:(Gen.originated w)
+    ~selective:w.Gen.selective
+
+let base_world () =
+  Gen.generate (Topogen.Scenario.small_access ~scale:0.15 ())
+
+(* Freeze the pre-churn routing state: snapshot plus forwarding plan. *)
+let freeze_world (w : Gen.world) =
+  let snap = Bgp.freeze (fresh_bgp w) in
+  let fwd = Fwd.create w.Gen.net (Bgp.of_snapshot snap) in
+  let plan = Fwd.freeze ~egress_for:w.Gen.siblings fwd in
+  (snap, plan)
+
+(* [force] draws its site from the seed; eligibility does not. Scan a
+   few seeds so classes whose site choice can collide (e.g. aggregate
+   needs an adjacent same-length sibling pair) still land. *)
+let force_kind kind w =
+  let rec go seed =
+    if seed > 50 then None
+    else
+      match Evolve.force ~seed kind w with
+      | Some r -> Some r
+      | None -> go (seed + 1)
+  in
+  go 1
+
+let check_equal_snapshots ~what scratch patched =
+  match Bgp.Snapshot.equal scratch patched with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (what ^ ": snapshot diverged: " ^ m)
+
+let check_equal_plans ~what splan plan =
+  match Fwd.plan_equal ~scratch:splan ~patched:plan with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (what ^ ": plan diverged: " ^ m)
+
+(* Apply one forced event of [kind]; incremental refreeze + plan patch
+   must match a scratch freeze of the evolved world exactly.
+   [expect_dirty] pins the per-class dirtiness contract where it is
+   deterministic. *)
+let test_class ?expect_dirty kind () =
+  let w = base_world () in
+  let old_snap, old_plan = freeze_world w in
+  match force_kind kind w with
+  | None ->
+    Alcotest.fail
+      (Evolve.kind_label kind ^ ": no eligible site in the base world")
+  | Some (w', te) ->
+    Alcotest.(check string)
+      "forced event has the requested class"
+      (Evolve.kind_label kind)
+      (Evolve.kind_label (Evolve.kind_of te.Evolve.ev));
+    let churn = Bgp.churn_of_events [ te ] in
+    let snap, stats = Bgp.refreeze (fresh_bgp w') ~old:old_snap churn in
+    Alcotest.(check bool) "no full-recompute fallback" false
+      stats.Bgp.rf_fallback;
+    Option.iter
+      (fun d ->
+        Alcotest.(check int) "dirty prefix count" d stats.Bgp.rf_dirty)
+      expect_dirty;
+    let scratch =
+      Bgp.freeze ~counter:"routing.snapshot.scratch_builds" (fresh_bgp w')
+    in
+    check_equal_snapshots ~what:(Evolve.kind_label kind) scratch snap;
+    let fwd = Fwd.create w'.Gen.net (Bgp.of_snapshot snap) in
+    let plan =
+      Fwd.patch ~egress_for:w'.Gen.siblings fwd ~old:old_plan ~churn
+        ~dirty:stats.Bgp.rf_dirty_prefixes
+    in
+    let sfwd = Fwd.create w'.Gen.net (Bgp.of_snapshot scratch) in
+    let splan = Fwd.freeze ~egress_for:w'.Gen.siblings sfwd in
+    check_equal_plans ~what:(Evolve.kind_label kind) splan plan
+
+(* The zero-churn strict no-op: an empty batch patches nothing and the
+   result is indistinguishable from the old snapshot. *)
+let test_zero_churn () =
+  let w = base_world () in
+  let old_snap, old_plan = freeze_world w in
+  let snap, stats = Bgp.refreeze (fresh_bgp w) ~old:old_snap Bgp.no_churn in
+  Alcotest.(check int) "nothing re-propagated" 0 stats.Bgp.rf_dirty;
+  Alcotest.(check bool) "no fallback" false stats.Bgp.rf_fallback;
+  check_equal_snapshots ~what:"zero churn" old_snap snap;
+  let fwd = Fwd.create w.Gen.net (Bgp.of_snapshot snap) in
+  let plan =
+    Fwd.patch ~egress_for:w.Gen.siblings fwd ~old:old_plan ~churn:Bgp.no_churn
+      ~dirty:[]
+  in
+  check_equal_plans ~what:"zero churn" old_plan plan;
+  Alcotest.(check string) "empty batch leaves the epoch digest alone"
+    "prev-digest"
+    (Evolve.log_digest "prev-digest" [])
+
+(* The schedule validator fails fast on nonsense. *)
+let test_schedule_validation () =
+  Evolve.validate_schedule Evolve.default_schedule;
+  let bad f =
+    match Evolve.validate_schedule (f Evolve.default_schedule) with
+    | () -> Alcotest.fail "invalid schedule accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun s -> { s with Evolve.ev_epochs = -1 });
+  bad (fun s -> { s with Evolve.ev_batch = -1 });
+  bad (fun s -> { s with Evolve.ev_interval = 0.0 });
+  bad (fun s -> { s with Evolve.w_link_add = -1.0 });
+  bad (fun s ->
+      { s with
+        Evolve.w_link_add = 0.0;
+        w_link_remove = 0.0;
+        w_new_customer = 0.0;
+        w_depeer = 0.0;
+        w_aggregate = 0.0;
+        w_deaggregate = 0.0
+      })
+
+(* -- Property: random event sequences over random worlds -- *)
+
+let fuzz_arb = QCheck.(make ~print:Print.int Gen.(int_bound 1_000_000))
+
+(* API-level equivalence on top of Snapshot.equal: every (asn, prefix)
+   route and as_path, and the lookup at each prefix's first address,
+   answered identically by the incremental and scratch snapshots. *)
+let check_api_equiv inc scr =
+  let asns =
+    List.init (Bgp.Snapshot.asn_count inc) (Bgp.Snapshot.asn_of_slot inc)
+  in
+  let pfx = Bgp.Snapshot.prefixes inc in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun p ->
+          if Bgp.Snapshot.route inc a p <> Bgp.Snapshot.route scr a p then
+            QCheck.Test.fail_reportf "route AS%d %s differs" a
+              (Prefix.to_string p);
+          if Bgp.Snapshot.as_path inc a p <> Bgp.Snapshot.as_path scr a p then
+            QCheck.Test.fail_reportf "as_path AS%d %s differs" a
+              (Prefix.to_string p);
+          let addr = Prefix.first p in
+          if Bgp.Snapshot.lookup inc a addr <> Bgp.Snapshot.lookup scr a addr
+          then
+            QCheck.Test.fail_reportf "lookup AS%d %s differs" a
+              (Ipv4.to_string addr))
+        pfx)
+    asns
+
+let prop_random_churn =
+  QCheck.Test.make
+    ~name:"random churn: incremental refreeze = scratch freeze, every epoch"
+    ~count:8 fuzz_arb
+    (fun fseed ->
+      let st = Random.State.make [| fseed |] in
+      let wseed = Random.State.int st 100_000 in
+      let w =
+        Gen.generate (Topogen.Scenario.small_access ~scale:0.15 ~seed:wseed ())
+      in
+      let schedule =
+        { Evolve.default_schedule with
+          Evolve.ev_seed = Random.State.int st 100_000;
+          ev_epochs = 2;
+          ev_batch = 4
+        }
+      in
+      let world = ref w in
+      let snap = ref (Bgp.freeze (fresh_bgp w)) in
+      let plan =
+        ref
+          (Fwd.freeze ~egress_for:w.Gen.siblings
+             (Fwd.create w.Gen.net (Bgp.of_snapshot !snap)))
+      in
+      for e = 1 to schedule.Evolve.ev_epochs do
+        let w', events = Evolve.advance schedule ~epoch:e !world in
+        world := w';
+        let churn = Bgp.churn_of_events events in
+        let s, stats = Bgp.refreeze (fresh_bgp w') ~old:!snap churn in
+        let scratch =
+          Bgp.freeze ~counter:"routing.snapshot.scratch_builds" (fresh_bgp w')
+        in
+        (match Bgp.Snapshot.equal scratch s with
+        | Ok () -> ()
+        | Error m -> QCheck.Test.fail_reportf "epoch %d: %s" e m);
+        check_api_equiv s scratch;
+        let fwd = Fwd.create w'.Gen.net (Bgp.of_snapshot s) in
+        let p =
+          Fwd.patch ~egress_for:w'.Gen.siblings fwd ~old:!plan ~churn
+            ~dirty:stats.Bgp.rf_dirty_prefixes
+        in
+        let sfwd = Fwd.create w'.Gen.net (Bgp.of_snapshot scratch) in
+        let sp = Fwd.freeze ~egress_for:w'.Gen.siblings sfwd in
+        (match Fwd.plan_equal ~scratch:sp ~patched:p with
+        | Ok () -> ()
+        | Error m -> QCheck.Test.fail_reportf "epoch %d plan: %s" e m);
+        snap := s;
+        plan := p
+      done;
+      true)
+
+let suite =
+  [ Alcotest.test_case "zero churn is a strict no-op" `Quick test_zero_churn;
+    Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+    Alcotest.test_case "link add" `Quick
+      (test_class ~expect_dirty:0 Evolve.Link_add);
+    Alcotest.test_case "link remove" `Quick
+      (test_class ~expect_dirty:0 Evolve.Link_remove);
+    Alcotest.test_case "new customer" `Quick
+      (test_class ~expect_dirty:1 Evolve.New_customer);
+    Alcotest.test_case "depeer" `Quick (test_class Evolve.Depeer);
+    Alcotest.test_case "aggregate" `Quick
+      (test_class ~expect_dirty:1 Evolve.Aggregate);
+    Alcotest.test_case "deaggregate" `Quick
+      (test_class ~expect_dirty:2 Evolve.Deaggregate);
+    Qc.to_alcotest prop_random_churn ]

@@ -498,6 +498,77 @@ let test_metrics_opcode () =
                 (contains ~sub:"bdrmap_up 1" text
                 && contains ~sub:"# EOF" text)))
 
+(* -- SIGHUP-style hot reload: swap the map under live connections -- *)
+
+let test_hot_reload () =
+  let _, _, mapfile, qmap = Lazy.force fixture in
+  let path = fresh_path () in
+  let reloads = Atomic.make 0 in
+  let fail_next = Atomic.make false in
+  (* A replacement map whose answers are distinguishable through the
+     wire: it routes 8.8.8.0/24 (unrouted in the fixture, so the old
+     map answers 0 for it) to a private ASN. *)
+  let mf2 =
+    { mapfile with
+      Bdrmap.Mapfile.origins = [ (Prefix.of_string_exn "8.8.8.0/24", 65001) ]
+    }
+  in
+  let reload () =
+    Atomic.incr reloads;
+    if Atomic.get fail_next then None else Some (Serve.Qmap.build mf2)
+  in
+  let server = Serve.Server.create ~reload ~path qmap in
+  let d = Domain.spawn (fun () -> Serve.Server.run server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Domain.join d)
+    (fun () ->
+      match Serve.Client.connect path with
+      | Error e -> Alcotest.fail (Serve.Protocol.error_label e)
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            let addr = Ipv4.of_string_exn "8.8.8.8" in
+            let owner () =
+              match Serve.Client.owner c addr with
+              | Ok o -> o
+              | Error e -> Alcotest.fail (Serve.Protocol.error_label e)
+            in
+            Alcotest.(check int) "before reload: unrouted" 0 (owner ());
+            Serve.Server.request_reload server;
+            (* The swap is asynchronous (event loop); the connection
+               opened before the reload must observe it without
+               reconnecting. *)
+            let rec await tries =
+              if owner () = 65001 then ()
+              else if tries = 0 then
+                Alcotest.fail "reload never took effect"
+              else begin
+                Unix.sleepf 0.02;
+                await (tries - 1)
+              end
+            in
+            await 250;
+            Alcotest.(check int) "reload callback ran once" 1
+              (Atomic.get reloads);
+            (* A rebuild that fails (callback returns None) keeps the
+               current map serving. *)
+            Atomic.set fail_next true;
+            Serve.Server.request_reload server;
+            let rec await_fail tries =
+              if Atomic.get reloads >= 2 then ()
+              else if tries = 0 then Alcotest.fail "second reload never ran"
+              else begin
+                Unix.sleepf 0.02;
+                await_fail (tries - 1)
+              end
+            in
+            await_fail 250;
+            Alcotest.(check int) "failed rebuild keeps current map" 65001
+              (owner ())))
+
 let suite =
   [ Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
     Alcotest.test_case "qmap owner semantics" `Quick test_qmap_owner_semantics;
@@ -513,4 +584,6 @@ let suite =
       test_signal_stop_no_stale_socket;
     Alcotest.test_case "concurrent answers identical" `Slow
       test_concurrent_identical;
-    Alcotest.test_case "metrics opcode" `Quick test_metrics_opcode ]
+    Alcotest.test_case "metrics opcode" `Quick test_metrics_opcode;
+    Alcotest.test_case "hot reload swaps map under live connections" `Quick
+      test_hot_reload ]

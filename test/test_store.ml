@@ -198,7 +198,7 @@ let test_checkpoint_resume () =
                 (Printf.sprintf "vp %d checkpointed iff completed" i)
                 (i = 0)
                 (Store.mem st
-                   ~key:(Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp)))
+                   ~key:(Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp ())))
             vps;
           (* ...and the re-run reuses it instead of recomputing. *)
           Obs.Metrics.reset ();
@@ -219,7 +219,9 @@ let test_corruption_falls_back_to_recompute () =
   let w, inputs = Lazy.force tiny_env in
   let vps = w.Gen.vps in
   let cfg = Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns in
-  let vp0_key = Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:(List.hd vps) in
+  let vp0_key =
+    Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:(List.hd vps) ()
+  in
   with_store (fun st ->
       with_counters (fun () ->
           let cold =
@@ -274,19 +276,26 @@ let test_key_sensitivity () =
   let w, inputs = Lazy.force tiny_env in
   let cfg = Bdrmap.Config.default ~vp_asns:inputs.Bdrmap.Pipeline.vp_asns in
   let vp0 = List.hd w.Gen.vps in
-  let key = Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0 in
+  let key = Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0 () in
   Alcotest.(check string) "key is deterministic" key
-    (Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0);
+    (Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp0 ());
   Alcotest.(check bool) "pps changes the key" true
-    (key <> Bdrmap.Run_store.key ~world:w ~pps:50.0 ~cfg ~vp:vp0);
+    (key <> Bdrmap.Run_store.key ~world:w ~pps:50.0 ~cfg ~vp:vp0 ());
   let cfg' = { cfg with Bdrmap.Config.gap_limit = cfg.Bdrmap.Config.gap_limit + 1 } in
   Alcotest.(check bool) "config changes the key" true
-    (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg:cfg' ~vp:vp0);
-  match w.Gen.vps with
+    (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg:cfg' ~vp:vp0 ());
+  Alcotest.(check bool) "epoch changes the key" true
+    (key
+    <> Bdrmap.Run_store.key ~epoch:"deadbeef" ~world:w ~pps:100.0 ~cfg ~vp:vp0
+         ());
+  (match w.Gen.vps with
   | _ :: vp1 :: _ ->
     Alcotest.(check bool) "vp changes the key" true
-      (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp1)
-  | _ -> ()
+      (key <> Bdrmap.Run_store.key ~world:w ~pps:100.0 ~cfg ~vp:vp1 ())
+  | _ -> ());
+  Alcotest.(check bool) "epoch changes the bgp-snapshot key" true
+    (Bdrmap.Run_store.bgp_snapshot_key ~world:w ()
+    <> Bdrmap.Run_store.bgp_snapshot_key ~epoch:"deadbeef" ~world:w ())
 
 let suite =
   [ Alcotest.test_case "blob roundtrip" `Quick test_blob_roundtrip;
